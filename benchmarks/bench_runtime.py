@@ -1,0 +1,37 @@
+"""§VI-D: running time of FS discovery, GAN training and per-sample inference.
+
+The paper reports (P40 server, full datasets): FS ≈ 42/35 min, GAN training
+≈ 12/7 min, inference ≈ 0.05 s per sample.  Absolute numbers scale with the
+preset; the *ordering* — FS ≥ GAN training ≫ per-sample inference — is the
+shape target, along with sub-second inference (the property that makes the
+approach viable for real-time network management models).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import assert_shape
+from repro.experiments import format_runtime, measure_runtime
+
+
+@pytest.mark.parametrize("dataset", ["5gc", "5gipc"])
+def test_runtime(benchmark, preset, dataset):
+    result = benchmark.pedantic(
+        lambda: measure_runtime(dataset, preset=preset, shots=max(preset.shots)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_runtime(result))
+
+    strict = preset.name != "smoke"
+    per_sample = result["inference_seconds_per_sample"]
+    assert per_sample < 0.5, "per-sample inference must be sub-second"
+    assert_shape(
+        result["gan_train_seconds"] > 100 * per_sample,
+        "training must dwarf per-sample inference",
+        strict=strict,
+    )
+    # FS cost is dominated by CI tests, linear in the feature count
+    assert result["n_ci_tests"] >= result["n_features"]

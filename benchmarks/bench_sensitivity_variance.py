@@ -1,0 +1,42 @@
+"""§VI-C sensitivity: F1 variance across random target-sample selections.
+
+The paper reports FS / FS+GAN staying within ±2.6 F1 points over 20 random
+selections.  This bench measures the spread over ``n_selections`` few-shot
+draws (scaled with the preset's repeat budget).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import assert_shape
+from repro.experiments import selection_variance
+
+
+def test_selection_variance_5gc(benchmark, preset):
+    n_selections = max(3, preset.repeats)
+    result = benchmark.pedantic(
+        lambda: selection_variance(
+            "5gc", preset=preset, model="TNet", shots=5, n_selections=n_selections
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for method in ("fs", "fs+gan"):
+        stats = result[method]
+        print(
+            f"{method:>7}: mean={100 * stats['mean']:5.1f} "
+            f"std={100 * stats['std']:4.1f} range={100 * stats['range']:4.1f}"
+        )
+
+    strict = preset.name != "smoke"
+    # ±2.6 in the paper → a full range of ~5 points; allow 2x at reduced scale
+    assert_shape(
+        result["fs"]["range"] < 0.12,
+        "FS variance across selections must stay small",
+        strict=strict,
+    )
+    assert_shape(
+        result["fs+gan"]["range"] < 0.12,
+        "FS+GAN variance across selections must stay small",
+        strict=strict,
+    )

@@ -1,0 +1,65 @@
+"""Table I (top): the full method × model × shots grid on the 5GC dataset.
+
+Regenerates the paper's main table — 13 approaches, 4 downstream models,
+{1, 5, 10} target shots — and prints it in the paper's layout, followed by
+the drift-mitigation improvement summary behind the paper's 52% headline.
+
+Shape targets (enforced at fast/paper presets): SrcOnly collapses; FS and
+FS+GAN lead every baseline group; every few-shot method improves with shots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import assert_shape
+from repro.experiments import format_table1, run_table1, summarize_improvement
+
+
+def _mean(results, method):
+    return float(np.mean([c.f1_mean for c in results if c.method == method]))
+
+
+def test_table1_5gc(benchmark, preset):
+    results = benchmark.pedantic(
+        lambda: run_table1("5gc", preset=preset), rounds=1, iterations=1
+    )
+    print()
+    print(format_table1(results, dataset="5GC"))
+    summary = summarize_improvement(results)
+    print(
+        f"\nFS+GAN gain over SrcOnly: {100 * summary['fsgan_gain']:.1f} F1 points; "
+        f"best other ({summary['best_other']}): "
+        f"{100 * summary['best_other_gain']:.1f} points; "
+        f"relative drift-mitigation improvement: "
+        f"{100 * summary['relative_improvement']:.0f}%"
+    )
+
+    strict = preset.name != "smoke"
+    srconly = _mean(results, "srconly")
+    fs = _mean(results, "fs")
+    fsgan = _mean(results, "fs+gan")
+    baselines = ("taronly", "s&t", "coral", "dann", "scl", "matchnet",
+                 "protonet", "cmt", "icd", "fine-tune")
+    best_baseline = max(_mean(results, m) for m in baselines)
+
+    assert_shape(fs > srconly + 0.1, "FS must strongly beat SrcOnly", strict=strict)
+    assert_shape(fsgan > srconly + 0.1, "FS+GAN must strongly beat SrcOnly", strict=strict)
+    assert_shape(fs > best_baseline, "FS must lead every baseline", strict=strict)
+    assert_shape(
+        fsgan > best_baseline - 0.02,
+        "FS+GAN must at least match the best baseline",
+        strict=strict,
+    )
+    # few-shot methods improve with more target samples
+    for method in ("taronly", "s&t", "cmt"):
+        by_shots = [
+            float(np.mean([c.f1_mean for c in results
+                           if c.method == method and c.shots == s]))
+            for s in preset.shots
+        ]
+        assert_shape(
+            by_shots[-1] > by_shots[0],
+            f"{method} must improve from {preset.shots[0]} to {preset.shots[-1]} shots",
+            strict=strict,
+        )

@@ -1,0 +1,37 @@
+"""Table I (bottom): the full method × model × shots grid on 5GIPC.
+
+Same grid as the 5GC bench, on the binary fault-detection dataset with its
+paper-matched class imbalance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import assert_shape
+from repro.experiments import format_table1, run_table1, summarize_improvement
+
+
+def _mean(results, method):
+    return float(np.mean([c.f1_mean for c in results if c.method == method]))
+
+
+def test_table1_5gipc(benchmark, preset):
+    results = benchmark.pedantic(
+        lambda: run_table1("5gipc", preset=preset), rounds=1, iterations=1
+    )
+    print()
+    print(format_table1(results, dataset="5GIPC"))
+    summary = summarize_improvement(results)
+    print(
+        f"\nFS+GAN gain over SrcOnly: {100 * summary['fsgan_gain']:.1f} F1 points; "
+        f"best other ({summary['best_other']}): "
+        f"{100 * summary['best_other_gain']:.1f} points"
+    )
+
+    strict = preset.name != "smoke"
+    srconly = _mean(results, "srconly")
+    fs = _mean(results, "fs")
+    fsgan = _mean(results, "fs+gan")
+    assert_shape(fs > srconly, "FS must beat SrcOnly on 5GIPC", strict=strict)
+    assert_shape(fsgan > srconly, "FS+GAN must beat SrcOnly on 5GIPC", strict=strict)

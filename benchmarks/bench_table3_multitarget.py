@@ -1,0 +1,50 @@
+"""Table III: no-retraining robustness across two evolving target domains.
+
+Regenerates the cross-adapter grid: a single TNet fault-detection model
+trained only on Source; FS+GAN_1 / FS+GAN_2 adapters fitted per target;
+every adapter evaluated on every target.
+
+Shape targets (fast/paper): matched adapters beat SrcOnly on their targets;
+crossed adapters remain competitive; the two adapters' variant sets overlap
+substantially (the paper's explanation for the robustness).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import assert_shape
+from repro.experiments import format_multitarget, run_multitarget
+
+
+def test_table3_multitarget(benchmark, preset):
+    result = benchmark.pedantic(
+        lambda: run_multitarget(preset=preset, model="TNet"), rounds=1, iterations=1
+    )
+    print()
+    print(format_multitarget(result))
+
+    strict = preset.name != "smoke"
+    scores = result["scores"]
+    top_shots = max(preset.shots)
+    matched_1 = scores[(1, 1, top_shots)]
+    matched_2 = scores[(2, 2, top_shots)]
+    crossed_12 = scores[(1, 2, top_shots)]
+    crossed_21 = scores[(2, 1, top_shots)]
+
+    assert_shape(matched_1 > 0.5, "matched adapter 1 must perform well", strict=strict)
+    assert_shape(matched_2 > 0.5, "matched adapter 2 must perform well", strict=strict)
+    # crossed adapters stay competitive: within 15 F1 points of matched
+    assert_shape(
+        crossed_12 > matched_2 - 0.15,
+        "adapter 1 must stay competitive on target 2",
+        strict=strict,
+    )
+    assert_shape(
+        crossed_21 > matched_1 - 0.15,
+        "adapter 2 must stay competitive on target 1",
+        strict=strict,
+    )
+    assert_shape(
+        result["overlap"] > 0.3,
+        "the adapters' variant sets must overlap substantially",
+        strict=strict,
+    )

@@ -1,0 +1,32 @@
+"""Benchmark fixtures.
+
+The preset is selected with the ``REPRO_PRESET`` environment variable
+(``smoke`` by default — minutes-scale; ``fast`` reproduces the numbers
+recorded in EXPERIMENTS.md; ``paper`` runs the published sizes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_preset
+
+
+@pytest.fixture(scope="session")
+def preset():
+    return get_preset()
+
+
+def assert_shape(condition: bool, message: str, *, strict: bool) -> None:
+    """Assert a paper-shape property, downgrading to a warning at smoke scale.
+
+    Smoke-preset runs are for exercising the harness, not for statistical
+    conclusions; shape checks are only enforced for the fast/paper presets.
+    """
+    import warnings
+
+    if condition:
+        return
+    if strict:
+        raise AssertionError(message)
+    warnings.warn(f"shape check failed at smoke scale: {message}", stacklevel=2)

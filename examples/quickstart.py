@@ -1,0 +1,49 @@
+"""Quickstart: mitigate data drift with FS+GAN in ~30 lines.
+
+Generates a scaled-down 5GC failure-classification benchmark (source = the
+digital twin, target = the drifted real network), trains the full pipeline,
+and compares it against the unadapted source model.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.core import FSGANPipeline, ReconstructionConfig
+from repro.datasets import FiveGCConfig, make_5gc
+from repro.ml import MLPClassifier, MinMaxScaler, macro_f1
+
+
+def main() -> None:
+    # 1. A drift benchmark: source domain + target pool with soft-intervention drift.
+    bench = make_5gc(
+        FiveGCConfig(n_source=800, n_target=480, feature_scale=0.25), random_state=0
+    )
+    # The paper's few-shot protocol: 5 labeled target samples per fault type.
+    X_few, y_few, X_test, y_test = bench.few_shot_split(5, random_state=0)
+    print(f"{bench.n_features} features, {bench.n_classes} classes, "
+          f"{len(X_few)} target training samples, {len(X_test)} target test samples")
+
+    # 2. The unadapted baseline: train on source, predict drifted target data.
+    scaler = MinMaxScaler().fit(bench.X_source)
+    src_model = MLPClassifier(epochs=30, random_state=0)
+    src_model.fit(scaler.transform(bench.X_source), bench.y_source)
+    srconly = macro_f1(y_test, src_model.predict(scaler.transform(X_test)))
+
+    # 3. FS+GAN: causal feature separation + GAN reconstruction.  The
+    #    downstream model trains on source only and is never retrained.
+    pipeline = FSGANPipeline(
+        lambda: MLPClassifier(epochs=30, random_state=0),
+        reconstruction_config=ReconstructionConfig(epochs=300),
+        random_state=0,
+    )
+    pipeline.fit(bench.X_source, bench.y_source, X_few)
+    ours = macro_f1(y_test, pipeline.predict(X_test))
+
+    print(f"\nFS found {pipeline.n_variant_} domain-variant features "
+          f"(ground truth: {len(bench.true_variant_indices)})")
+    print(f"SrcOnly macro-F1 on drifted target: {100 * srconly:5.1f}")
+    print(f"FS+GAN  macro-F1 on drifted target: {100 * ours:5.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Record fast-preset results for EXPERIMENTS.md."""
+import sys, time
+from dataclasses import replace
+from repro.experiments import (PRESETS, run_table1, run_ablation, format_table1,
+                               format_ablation, summarize_improvement,
+                               variant_counts, format_variant_counts,
+                               measure_runtime, format_runtime,
+                               run_multitarget, format_multitarget)
+
+preset = replace(PRESETS["fast"], repeats=2)
+t0 = time.time()
+
+def log(*args):
+    print(*args, flush=True)
+
+for dataset in ("5gc", "5gipc"):
+    results = run_table1(dataset, preset=preset)
+    log(format_table1(results, dataset=dataset.upper()))
+    s = summarize_improvement(results)
+    log(f"summary: srconly={100*s['srconly_f1']:.1f} fs+gan={100*s['fsgan_f1']:.1f} "
+        f"best_other={s['best_other']}({100*s['best_other_f1']:.1f}) "
+        f"gain_ours={100*s['fsgan_gain']:.1f} gain_other={100*s['best_other_gain']:.1f} "
+        f"rel_improvement={100*s['relative_improvement']:.0f}%")
+    log(f"[elapsed {time.time()-t0:.0f}s]\n")
+
+ab = run_ablation("5gc", preset=preset, model="TNet")
+log(format_ablation(ab, dataset="5GC"))
+log(f"[elapsed {time.time()-t0:.0f}s]\n")
+
+for dataset in ("5gc", "5gipc"):
+    vc = variant_counts(dataset, preset=preset)
+    log(format_variant_counts(vc))
+    rt = measure_runtime(dataset, preset=preset, shots=10)
+    log(format_runtime(rt))
+    log("")
+
+mt = run_multitarget(preset=replace(preset, repeats=1), model="TNet")
+log(format_multitarget(mt))
+log(f"[total {time.time()-t0:.0f}s]")

@@ -1,0 +1,47 @@
+"""repro — reproduction of "Few-Shot Domain Adaptation for Effective Data
+Drift Mitigation in Network Management" (Johari et al., ICDCS 2025).
+
+Public surface
+--------------
+- :mod:`repro.core` — the paper's method: :class:`~repro.core.FSModel`
+  (causal feature separation) and :class:`~repro.core.FSGANPipeline`
+  (feature separation + GAN reconstruction), both model-agnostic.
+- :mod:`repro.datasets` — synthetic 5GC / 5GIPC drift benchmarks built on a
+  structural-causal-model engine with soft interventions.
+- :mod:`repro.baselines` — the thirteen compared approaches of Table I.
+- :mod:`repro.ml`, :mod:`repro.nn`, :mod:`repro.causal`, :mod:`repro.gan` —
+  the from-scratch substrates everything is built on.
+- :mod:`repro.experiments` — the harness regenerating every table/figure.
+
+Quickstart
+----------
+>>> from repro.datasets import make_5gc, FiveGCConfig
+>>> from repro.core import FSGANPipeline
+>>> from repro.ml import TNetClassifier, macro_f1
+>>> bench = make_5gc(FiveGCConfig().scaled(0.2), random_state=0)
+>>> X_few, y_few, X_test, y_test = bench.few_shot_split(5, random_state=0)
+>>> pipe = FSGANPipeline(lambda: TNetClassifier(epochs=30, random_state=0))
+>>> pipe.fit(bench.X_source, bench.y_source, X_few)      # doctest: +SKIP
+>>> macro_f1(y_test, pipe.predict(X_test))               # doctest: +SKIP
+"""
+
+from repro.core import (
+    FSConfig,
+    FSGANPipeline,
+    FSModel,
+    FeatureSeparator,
+    ReconstructionConfig,
+    VariantReconstructor,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FSConfig",
+    "FSGANPipeline",
+    "FSModel",
+    "FeatureSeparator",
+    "ReconstructionConfig",
+    "VariantReconstructor",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""The thirteen compared approaches of Table I behind one interface."""
+
+from repro.baselines.base import DAMethod
+from repro.baselines.cmt import CMT
+from repro.baselines.coral import CORAL, coral_transform
+from repro.baselines.dann import DANN
+from repro.baselines.fewshot import MatchNet, ProtoNet
+from repro.baselines.icd import ICD
+from repro.baselines.naive import FineTune, SourceAndTarget, SrcOnly, TarOnly
+from repro.baselines.ours import FSGANMethod, FSMethod
+from repro.baselines.registry import (
+    ALL_METHODS,
+    METHOD_GROUPS,
+    MODEL_AGNOSTIC_METHODS,
+    MODEL_SPECIFIC_METHODS,
+    build_method,
+)
+from repro.baselines.scl import SCL
+
+__all__ = [
+    "ALL_METHODS",
+    "CMT",
+    "CORAL",
+    "DAMethod",
+    "DANN",
+    "FSGANMethod",
+    "FSMethod",
+    "FineTune",
+    "ICD",
+    "METHOD_GROUPS",
+    "MODEL_AGNOSTIC_METHODS",
+    "MODEL_SPECIFIC_METHODS",
+    "MatchNet",
+    "ProtoNet",
+    "SCL",
+    "SourceAndTarget",
+    "SrcOnly",
+    "TarOnly",
+    "build_method",
+    "coral_transform",
+]

@@ -1,0 +1,55 @@
+"""Common interface for all compared domain-adaptation approaches.
+
+Every method — naive baselines, domain-independent representation learning,
+few-shot learners, causal approaches and the paper's own FS / FS+GAN —
+implements :class:`DAMethod`:
+
+``fit(X_source, y_source, X_target_few, y_target_few)`` then ``predict(X)``
+on target-domain test samples.  The experiment runner (Table I) treats them
+uniformly through this surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import StandardScaler
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_array, check_X_y
+
+
+class DAMethod:
+    """Abstract base for domain-adaptation methods."""
+
+    #: whether the method trains the downstream model on target samples
+    #: (True for everything except FS / FS+GAN, per §VI-A)
+    uses_target_in_training: bool = True
+    #: whether the method accepts an arbitrary downstream classifier
+    model_agnostic: bool = True
+
+    def fit(self, X_source, y_source, X_target_few, y_target_few) -> "DAMethod":
+        raise NotImplementedError
+
+    def predict(self, X) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(X_source, y_source, X_target_few, y_target_few):
+        X_source, y_source = check_X_y(X_source, y_source)
+        X_target_few = check_array(X_target_few, name="X_target_few")
+        y_target_few = np.asarray(y_target_few)
+        if y_target_few.ndim != 1 or y_target_few.shape[0] != X_target_few.shape[0]:
+            raise ValidationError("y_target_few must be 1-D and match X_target_few")
+        if X_target_few.shape[1] != X_source.shape[1]:
+            raise ValidationError("source and target feature counts differ")
+        return X_source, y_source, X_target_few, y_target_few
+
+
+def fit_scaler(X_source, X_target_few=None) -> StandardScaler:
+    """Standard scaling fitted on source (optionally pooled with target few).
+
+    The non-FS baselines follow their original works' normalization, which is
+    standardization; pooling the handful of target samples changes statistics
+    negligibly, so source-only fitting is used throughout.
+    """
+    return StandardScaler().fit(X_source)

@@ -1,0 +1,153 @@
+"""DANN — domain-adversarial neural network (Ganin & Lempitsky, ICML 2015).
+
+A shared feature extractor feeds (a) a label classifier trained on labeled
+samples (source + few-shot target) and (b) a domain classifier behind a
+gradient-reversal layer trained to distinguish domains on all samples.  The
+reversal makes the extractor learn domain-independent features.  Model-
+specific (its own network), as in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import DAMethod, fit_scaler
+from repro.ml.preprocessing import one_hot
+from repro.nn.layers import Dense, GradientReversal, ReLU
+from repro.nn.losses import SoftmaxCrossEntropy, softmax
+from repro.nn.network import Sequential, iterate_minibatches
+from repro.nn.optimizers import Adam
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_is_fitted, check_random_state
+
+
+class DANN(DAMethod):
+    """Domain-adversarial training with a gradient-reversal layer.
+
+    Parameters
+    ----------
+    embed_dim:
+        Feature-extractor output width.
+    lambda_:
+        Gradient-reversal strength (trade-off between label accuracy and
+        domain confusion).
+    """
+
+    model_agnostic = False
+
+    def __init__(
+        self,
+        *,
+        hidden_size: int = 128,
+        embed_dim: int = 64,
+        lambda_: float = 0.3,
+        epochs: int = 60,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        random_state=None,
+    ) -> None:
+        if lambda_ < 0:
+            raise ValidationError("lambda_ must be non-negative")
+        self.hidden_size = hidden_size
+        self.embed_dim = embed_dim
+        self.lambda_ = lambda_
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.random_state = random_state
+        self.extractor_: Sequential | None = None
+        self.label_head_: Sequential | None = None
+        self.domain_head_: Sequential | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X_source, y_source, X_target_few, y_target_few):
+        X_source, y_source, X_target_few, y_target_few = self._validate(
+            X_source, y_source, X_target_few, y_target_few
+        )
+        rng = check_random_state(self.random_state)
+        self.scaler_ = fit_scaler(X_source)
+        Xs = self.scaler_.transform(X_source)
+        Xt = self.scaler_.transform(X_target_few)
+        self.classes_, ys_codes = np.unique(
+            np.concatenate([y_source, y_target_few]), return_inverse=True
+        )
+        n_s = Xs.shape[0]
+        codes_s, codes_t = ys_codes[:n_s], ys_codes[n_s:]
+        k = len(self.classes_)
+        d = Xs.shape[1]
+        seed = lambda: int(rng.integers(0, 2**31 - 1))  # noqa: E731
+
+        self.extractor_ = Sequential(
+            [
+                Dense(d, self.hidden_size, random_state=seed()),
+                ReLU(),
+                Dense(self.hidden_size, self.embed_dim, random_state=seed()),
+                ReLU(),
+            ]
+        )
+        self.label_head_ = Sequential(
+            [Dense(self.embed_dim, k, init="glorot_uniform", random_state=seed())]
+        )
+        self.domain_head_ = Sequential(
+            [
+                GradientReversal(self.lambda_),
+                Dense(self.embed_dim, self.hidden_size // 2, random_state=seed()),
+                ReLU(),
+                Dense(self.hidden_size // 2, 2, init="glorot_uniform", random_state=seed()),
+            ]
+        )
+        layers = (
+            self.extractor_.trainable_layers()
+            + self.label_head_.trainable_layers()
+            + self.domain_head_.trainable_layers()
+        )
+        opt = Adam(layers, lr=self.lr)
+        label_loss = SoftmaxCrossEntropy()
+        domain_loss = SoftmaxCrossEntropy()
+
+        X_all = np.vstack([Xs, Xt])
+        labels_all = np.concatenate([codes_s, codes_t])
+        domains_all = np.concatenate(
+            [np.zeros(n_s, dtype=np.int64), np.ones(Xt.shape[0], dtype=np.int64)]
+        )
+        # up-weight target samples in the label loss so the handful of shots
+        # is not drowned by source batches
+        w_all = np.concatenate(
+            [np.ones(n_s), np.full(Xt.shape[0], max(1.0, 0.1 * n_s / Xt.shape[0]))]
+        )
+        y_onehot = one_hot(labels_all, k)
+        d_onehot = one_hot(domains_all, 2)
+        batch = min(self.batch_size, X_all.shape[0])
+
+        for _ in range(self.epochs):
+            for idx in iterate_minibatches(X_all.shape[0], batch, rng):
+                feats = self.extractor_.forward(X_all[idx], training=True)
+                logits = self.label_head_.forward(feats, training=True)
+                label_loss.forward(logits, y_onehot[idx])
+                g_label = label_loss.backward() * w_all[idx][:, None]
+                grad_feats = self.label_head_.backward(g_label)
+
+                d_logits = self.domain_head_.forward(feats, training=True)
+                domain_loss.forward(d_logits, d_onehot[idx])
+                grad_feats = grad_feats + self.domain_head_.backward(domain_loss.backward())
+
+                self.extractor_.backward(grad_feats)
+                opt.step()
+                opt.zero_grad()
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, "extractor_")
+        feats = self.extractor_.forward(self.scaler_.transform(X), training=False)
+        logits = self.label_head_.forward(feats, training=False)
+        return self.classes_[np.argmax(logits, axis=1)]
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "extractor_")
+        feats = self.extractor_.forward(self.scaler_.transform(X), training=False)
+        return softmax(self.label_head_.forward(feats, training=False), axis=1)
+
+    def embed(self, X) -> np.ndarray:
+        """Domain-independent embeddings (for analysis/tests)."""
+        check_is_fitted(self, "extractor_")
+        return self.extractor_.forward(self.scaler_.transform(X), training=False)

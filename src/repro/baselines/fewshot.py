@@ -1,0 +1,243 @@
+"""Few-shot learning baselines: Prototypical Networks and Matching Networks.
+
+Both train an embedding trunk on the **source** domain with episodic
+prototypical loss (Snell et al. 2017): each episode samples support and
+query examples per class, builds class prototypes from support embeddings,
+and classifies queries by (negative squared) distance to prototypes.
+
+They differ at inference, following the paper's §VI-A descriptions:
+
+- **ProtoNet** keeps source class prototypes and *updates* them with the
+  few labeled target samples; test samples go to the nearest prototype.
+- **MatchNet** embeds the few labeled target samples as a support set and
+  classifies test samples by cosine-attention over that support set.
+  (The trunk is trained with the same episodic objective — a standard
+  simplification that preserves Matching Networks' inference behaviour.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import DAMethod, fit_scaler
+from repro.nn.layers import Dense, ReLU
+from repro.nn.losses import softmax
+from repro.nn.network import Sequential
+from repro.nn.optimizers import Adam
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_is_fitted, check_random_state
+
+
+class _EpisodicEmbedder:
+    """Embedding trunk trained with prototypical episodes on source data."""
+
+    def __init__(
+        self,
+        *,
+        hidden_size: int = 128,
+        embed_dim: int = 64,
+        episodes: int = 300,
+        n_support: int = 5,
+        n_query: int = 10,
+        lr: float = 1e-3,
+        random_state=None,
+    ) -> None:
+        if episodes < 1 or n_support < 1 or n_query < 1:
+            raise ValidationError("episodes, n_support and n_query must be >= 1")
+        self.hidden_size = hidden_size
+        self.embed_dim = embed_dim
+        self.episodes = episodes
+        self.n_support = n_support
+        self.n_query = n_query
+        self.lr = lr
+        self.random_state = random_state
+        self.trunk_: Sequential | None = None
+
+    def fit(self, X: np.ndarray, y_codes: np.ndarray, n_classes: int) -> "_EpisodicEmbedder":
+        rng = check_random_state(self.random_state)
+        seed = lambda: int(rng.integers(0, 2**31 - 1))  # noqa: E731
+        self.trunk_ = Sequential(
+            [
+                Dense(X.shape[1], self.hidden_size, random_state=seed()),
+                ReLU(),
+                Dense(self.hidden_size, self.embed_dim, random_state=seed()),
+            ]
+        )
+        opt = Adam(self.trunk_.trainable_layers(), lr=self.lr)
+        class_members = [np.where(y_codes == c)[0] for c in range(n_classes)]
+        usable = [m for m in class_members if len(m) >= 2]
+        if len(usable) < 2:
+            raise ValidationError("episodic training needs >= 2 classes with >= 2 samples")
+
+        for _ in range(self.episodes):
+            support_idx, query_idx, query_labels = [], [], []
+            sizes = []
+            for c, members in enumerate(class_members):
+                if len(members) < 2:
+                    sizes.append(0)
+                    continue
+                m = min(len(members), self.n_support + self.n_query)
+                chosen = rng.choice(members, size=m, replace=False)
+                n_sup = min(self.n_support, m - 1)
+                support_idx.extend(chosen[:n_sup].tolist())
+                sizes.append(n_sup)
+                for q in chosen[n_sup:]:
+                    query_idx.append(int(q))
+                    query_labels.append(c)
+            if not query_idx:
+                continue
+            batch_idx = np.array(support_idx + query_idx)
+            emb = self.trunk_.forward(X[batch_idx], training=True)
+            n_sup_total = len(support_idx)
+            z_sup, z_query = emb[:n_sup_total], emb[n_sup_total:]
+
+            # prototypes per class with >=1 support sample
+            protos, proto_classes, slices = [], [], []
+            pos = 0
+            for c, n_sup in enumerate(sizes):
+                if n_sup == 0:
+                    continue
+                protos.append(z_sup[pos : pos + n_sup].mean(axis=0))
+                proto_classes.append(c)
+                slices.append((pos, pos + n_sup))
+                pos += n_sup
+            protos = np.array(protos)
+            class_to_proto = {c: i for i, c in enumerate(proto_classes)}
+            q_targets = np.array([class_to_proto[c] for c in query_labels])
+
+            diff = z_query[:, None, :] - protos[None, :, :]  # (Q, P, D)
+            logits = -np.sum(diff**2, axis=2)
+            probs = softmax(logits, axis=1)
+            onehot = np.zeros_like(probs)
+            onehot[np.arange(len(q_targets)), q_targets] = 1.0
+            g_logits = (probs - onehot) / len(q_targets)
+
+            grad_q = -2.0 * np.einsum("qp,qpd->qd", g_logits, diff)
+            grad_proto = 2.0 * np.einsum("qp,qpd->pd", g_logits, diff)
+            grad_sup = np.zeros_like(z_sup)
+            for p, (a, b) in enumerate(slices):
+                grad_sup[a:b] = grad_proto[p] / (b - a)
+            self.trunk_.backward(np.vstack([grad_sup, grad_q]))
+            opt.step()
+            opt.zero_grad()
+        return self
+
+    def embed(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "trunk_")
+        return self.trunk_.forward(X, training=False)
+
+
+class ProtoNet(DAMethod):
+    """Prototypical networks with target-updated prototypes.
+
+    ``target_blend`` controls how far source prototypes move toward the mean
+    embedding of the few target samples of each class.
+    """
+
+    model_agnostic = False
+
+    def __init__(
+        self,
+        *,
+        hidden_size: int = 128,
+        embed_dim: int = 64,
+        episodes: int = 300,
+        target_blend: float = 0.7,
+        random_state=None,
+    ) -> None:
+        if not 0.0 <= target_blend <= 1.0:
+            raise ValidationError("target_blend must be in [0, 1]")
+        self.embedder = _EpisodicEmbedder(
+            hidden_size=hidden_size,
+            embed_dim=embed_dim,
+            episodes=episodes,
+            random_state=random_state,
+        )
+        self.target_blend = target_blend
+        self.prototypes_: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X_source, y_source, X_target_few, y_target_few):
+        X_source, y_source, X_target_few, y_target_few = self._validate(
+            X_source, y_source, X_target_few, y_target_few
+        )
+        self.scaler_ = fit_scaler(X_source)
+        Xs = self.scaler_.transform(X_source)
+        Xt = self.scaler_.transform(X_target_few)
+        self.classes_, codes_s = np.unique(y_source, return_inverse=True)
+        self.embedder.fit(Xs, codes_s, len(self.classes_))
+        emb_s = self.embedder.embed(Xs)
+        emb_t = self.embedder.embed(Xt)
+        protos = np.array(
+            [emb_s[codes_s == c].mean(axis=0) for c in range(len(self.classes_))]
+        )
+        for c, label in enumerate(self.classes_):
+            members = emb_t[y_target_few == label]
+            if len(members):
+                protos[c] = (
+                    (1.0 - self.target_blend) * protos[c]
+                    + self.target_blend * members.mean(axis=0)
+                )
+        self.prototypes_ = protos
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, "prototypes_")
+        emb = self.embedder.embed(self.scaler_.transform(X))
+        d2 = np.sum((emb[:, None, :] - self.prototypes_[None, :, :]) ** 2, axis=2)
+        return self.classes_[np.argmin(d2, axis=1)]
+
+
+class MatchNet(DAMethod):
+    """Matching networks: cosine attention over the target support set."""
+
+    model_agnostic = False
+
+    def __init__(
+        self,
+        *,
+        hidden_size: int = 128,
+        embed_dim: int = 64,
+        episodes: int = 300,
+        temperature: float = 0.1,
+        random_state=None,
+    ) -> None:
+        if temperature <= 0:
+            raise ValidationError("temperature must be positive")
+        self.embedder = _EpisodicEmbedder(
+            hidden_size=hidden_size,
+            embed_dim=embed_dim,
+            episodes=episodes,
+            random_state=random_state,
+        )
+        self.temperature = temperature
+        self.support_emb_: np.ndarray | None = None
+        self.support_labels_: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X_source, y_source, X_target_few, y_target_few):
+        X_source, y_source, X_target_few, y_target_few = self._validate(
+            X_source, y_source, X_target_few, y_target_few
+        )
+        self.scaler_ = fit_scaler(X_source)
+        Xs = self.scaler_.transform(X_source)
+        Xt = self.scaler_.transform(X_target_few)
+        self.classes_, codes_s = np.unique(y_source, return_inverse=True)
+        self.embedder.fit(Xs, codes_s, len(self.classes_))
+        emb_t = self.embedder.embed(Xt)
+        norms = np.linalg.norm(emb_t, axis=1, keepdims=True) + 1e-12
+        self.support_emb_ = emb_t / norms
+        self.support_labels_ = y_target_few
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, "support_emb_")
+        emb = self.embedder.embed(self.scaler_.transform(X))
+        emb = emb / (np.linalg.norm(emb, axis=1, keepdims=True) + 1e-12)
+        attention = softmax(emb @ self.support_emb_.T / self.temperature, axis=1)
+        votes = np.zeros((X.shape[0], len(self.classes_)))
+        for c, label in enumerate(self.classes_):
+            mask = self.support_labels_ == label
+            if np.any(mask):
+                votes[:, c] = attention[:, mask].sum(axis=1)
+        return self.classes_[np.argmax(votes, axis=1)]

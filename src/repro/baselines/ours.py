@@ -1,0 +1,83 @@
+"""DAMethod adapters for the paper's own FS and FS+GAN approaches.
+
+Thin wrappers putting :class:`repro.core.FSModel` and
+:class:`repro.core.FSGANPipeline` behind the shared baseline interface so the
+Table I runner treats all thirteen approaches uniformly.  Unlike every other
+method, these never use the target labels and never train the downstream
+model on target samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import DAMethod
+from repro.core.config import FSConfig, ReconstructionConfig
+from repro.core.pipeline import FSGANPipeline, FSModel
+from repro.utils.validation import check_is_fitted
+
+
+class FSMethod(DAMethod):
+    """"FS (ours)": invariant-feature training on source data only."""
+
+    uses_target_in_training = False
+
+    def __init__(self, model_factory, *, fs_config: FSConfig | None = None) -> None:
+        self.inner = FSModel(model_factory, fs_config=fs_config)
+
+    def fit(self, X_source, y_source, X_target_few, y_target_few=None):
+        if y_target_few is None:
+            y_target_few = np.zeros(len(X_target_few), dtype=np.int64)
+        X_source, y_source, X_target_few, _ = self._validate(
+            X_source, y_source, X_target_few, y_target_few
+        )
+        self.inner.fit(X_source, y_source, X_target_few)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self.inner, "model_")
+        return self.inner.predict(X)
+
+    @property
+    def n_variant_(self) -> int:
+        return self.inner.n_variant_
+
+
+class FSGANMethod(DAMethod):
+    """"FS+GAN (ours)": full pipeline with GAN variant reconstruction."""
+
+    uses_target_in_training = False
+
+    def __init__(
+        self,
+        model_factory,
+        *,
+        fs_config: FSConfig | None = None,
+        reconstruction_config: ReconstructionConfig | None = None,
+        n_draws: int = 1,
+        random_state=None,
+    ) -> None:
+        self.inner = FSGANPipeline(
+            model_factory,
+            fs_config=fs_config,
+            reconstruction_config=reconstruction_config,
+            random_state=random_state,
+        )
+        self.n_draws = n_draws
+
+    def fit(self, X_source, y_source, X_target_few, y_target_few=None):
+        if y_target_few is None:
+            y_target_few = np.zeros(len(X_target_few), dtype=np.int64)
+        X_source, y_source, X_target_few, _ = self._validate(
+            X_source, y_source, X_target_few, y_target_few
+        )
+        self.inner.fit(X_source, y_source, X_target_few)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self.inner, "model_")
+        return self.inner.predict(X, n_draws=self.n_draws)
+
+    @property
+    def n_variant_(self) -> int:
+        return self.inner.n_variant_

@@ -1,0 +1,86 @@
+"""Registry of the compared approaches, keyed by the names used in Table I.
+
+``build_method(name, model_factory, ...)`` instantiates any approach behind
+the shared :class:`~repro.baselines.base.DAMethod` surface.  Model-specific
+methods (DANN, SCL, MatchNet, ProtoNet, Fine-Tune) ignore ``model_factory``,
+mirroring the paper's protocol where they use their original architectures.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cmt import CMT
+from repro.baselines.coral import CORAL
+from repro.baselines.dann import DANN
+from repro.baselines.fewshot import MatchNet, ProtoNet
+from repro.baselines.icd import ICD
+from repro.baselines.naive import FineTune, SourceAndTarget, SrcOnly, TarOnly
+from repro.baselines.ours import FSGANMethod, FSMethod
+from repro.baselines.scl import SCL
+from repro.core.config import FSConfig, ReconstructionConfig
+from repro.utils.errors import ValidationError
+
+#: Table I rows, grouped as in the paper
+METHOD_GROUPS = {
+    "causal": ("fs+gan", "fs", "cmt", "icd"),
+    "naive": ("srconly", "taronly", "s&t", "fine-tune"),
+    "domain_independent": ("coral", "dann", "scl"),
+    "few_shot": ("matchnet", "protonet"),
+}
+
+MODEL_AGNOSTIC_METHODS = (
+    "fs+gan", "fs", "cmt", "icd", "srconly", "taronly", "s&t", "coral",
+)
+MODEL_SPECIFIC_METHODS = ("fine-tune", "dann", "scl", "matchnet", "protonet")
+ALL_METHODS = MODEL_AGNOSTIC_METHODS + MODEL_SPECIFIC_METHODS
+
+
+def build_method(
+    name: str,
+    model_factory=None,
+    *,
+    random_state=None,
+    fs_config: FSConfig | None = None,
+    reconstruction_config: ReconstructionConfig | None = None,
+    **kwargs,
+):
+    """Instantiate a compared approach by its Table I name.
+
+    ``kwargs`` are forwarded to the method's constructor for fine control
+    (e.g. ``epochs`` for the neural baselines).
+    """
+    key = name.strip().lower()
+    if key in MODEL_AGNOSTIC_METHODS and model_factory is None:
+        raise ValidationError(f"method {name!r} requires a model_factory")
+    if key == "srconly":
+        return SrcOnly(model_factory, **kwargs)
+    if key == "taronly":
+        return TarOnly(model_factory, **kwargs)
+    if key == "s&t":
+        return SourceAndTarget(model_factory, **kwargs)
+    if key == "fine-tune":
+        return FineTune(random_state=random_state, **kwargs)
+    if key == "coral":
+        return CORAL(model_factory, **kwargs)
+    if key == "dann":
+        return DANN(random_state=random_state, **kwargs)
+    if key == "scl":
+        return SCL(random_state=random_state, **kwargs)
+    if key == "matchnet":
+        return MatchNet(random_state=random_state, **kwargs)
+    if key == "protonet":
+        return ProtoNet(random_state=random_state, **kwargs)
+    if key == "cmt":
+        return CMT(model_factory, random_state=random_state, **kwargs)
+    if key == "icd":
+        return ICD(model_factory, **kwargs)
+    if key == "fs":
+        return FSMethod(model_factory, fs_config=fs_config, **kwargs)
+    if key == "fs+gan":
+        return FSGANMethod(
+            model_factory,
+            fs_config=fs_config,
+            reconstruction_config=reconstruction_config,
+            random_state=random_state,
+            **kwargs,
+        )
+    raise ValidationError(f"unknown method {name!r}; available: {sorted(ALL_METHODS)}")

@@ -1,0 +1,30 @@
+"""Causal-inference substrate: CI tests, causal graphs, the PC algorithm and
+F-node intervention-target discovery (the machinery behind the FS method)."""
+
+from repro.causal.ci_tests import (
+    fisher_z_test,
+    g_squared_test,
+    regression_invariance_test,
+)
+from repro.causal.fnode import (
+    F_NODE,
+    FNodeDiscovery,
+    FNodeResult,
+    discover_targets_pc,
+)
+from repro.causal.graph import CausalGraph
+from repro.causal.pc import PCResult, pc_algorithm, pc_skeleton
+
+__all__ = [
+    "CausalGraph",
+    "F_NODE",
+    "FNodeDiscovery",
+    "FNodeResult",
+    "PCResult",
+    "discover_targets_pc",
+    "fisher_z_test",
+    "g_squared_test",
+    "pc_algorithm",
+    "pc_skeleton",
+    "regression_invariance_test",
+]

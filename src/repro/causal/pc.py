@@ -1,0 +1,133 @@
+"""The PC algorithm (Spirtes, Glymour & Scheines) for causal discovery.
+
+Used two ways in the reproduction:
+
+- directly, on small feature sets, to learn a full CPDAG (tests and the
+  didactic examples);
+- as the structural backbone of the F-node procedure in
+  :mod:`repro.causal.fnode`, which — as §VI-D of the paper describes — only
+  needs the edges incident to the F-node and therefore avoids building the
+  whole graph on 442-feature data.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.causal.ci_tests import fisher_z_test
+from repro.causal.graph import CausalGraph
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_array
+
+
+class PCResult:
+    """Output of :func:`pc_algorithm`: the CPDAG plus the separating sets."""
+
+    def __init__(self, graph: CausalGraph, sepsets: dict, n_tests: int) -> None:
+        self.graph = graph
+        self.sepsets = sepsets
+        self.n_tests = n_tests
+
+
+def pc_skeleton(
+    data: np.ndarray,
+    nodes: list,
+    *,
+    alpha: float = 0.05,
+    max_cond_size: int | None = None,
+    ci_test=fisher_z_test,
+    forbidden_cond: set | None = None,
+) -> tuple[CausalGraph, dict, int]:
+    """Learn the undirected skeleton by iterative conditional-independence tests.
+
+    Parameters
+    ----------
+    data:
+        (n_samples, n_nodes) matrix, columns aligned with ``nodes``.
+    alpha:
+        Significance level; p-values above it delete the edge.
+    max_cond_size:
+        Cap on conditioning-set size (None = up to n_nodes - 2).
+    ci_test:
+        ``ci_test(data, i, j, cond) -> p_value``.
+    forbidden_cond:
+        Nodes never used inside conditioning sets (the F-node: conditioning
+        on the manually added domain indicator is meaningless).
+    """
+    data = check_array(data)
+    if data.shape[1] != len(nodes):
+        raise ValidationError("data columns must align with nodes")
+    if not 0.0 < alpha < 1.0:
+        raise ValidationError("alpha must be in (0, 1)")
+    col = {node: k for k, node in enumerate(nodes)}
+    forbidden_cond = forbidden_cond or set()
+    graph = CausalGraph.complete(nodes)
+    sepsets: dict = {}
+    n_tests = 0
+    level = 0
+    limit = max_cond_size if max_cond_size is not None else len(nodes) - 2
+    while level <= limit:
+        any_tested = False
+        for a in list(graph.nodes):
+            for b in sorted(graph.undirected_neighbors(a), key=str):
+                candidates = sorted(
+                    (graph.neighbors(a) - {b}) - forbidden_cond, key=str
+                )
+                if len(candidates) < level:
+                    continue
+                removed = False
+                for cond in combinations(candidates, level):
+                    any_tested = True
+                    n_tests += 1
+                    p = ci_test(data, col[a], col[b], tuple(col[c] for c in cond))
+                    if p > alpha:
+                        graph.remove_edge(a, b)
+                        sepsets[frozenset((a, b))] = set(cond)
+                        removed = True
+                        break
+                if removed:
+                    continue
+        if not any_tested and level > 0:
+            break
+        level += 1
+    return graph, sepsets, n_tests
+
+
+def pc_algorithm(
+    data: np.ndarray,
+    nodes: list | None = None,
+    *,
+    alpha: float = 0.05,
+    max_cond_size: int | None = None,
+    ci_test=fisher_z_test,
+    forbidden_cond: set | None = None,
+    exogenous: set | None = None,
+) -> PCResult:
+    """Full PC: skeleton, v-structure orientation, Meek rules.
+
+    ``exogenous`` lists nodes treated as exogenous regime indicators — the
+    manually added F-node of the Ψ-FCI formulation.  Nothing in the data can
+    cause such a node, so every edge left undirected at it is oriented away
+    from it (``F → X``), matching the paper's constraint that the F-node's
+    orientation is fixed because the node was added by hand.
+    """
+    data = check_array(data)
+    if nodes is None:
+        nodes = list(range(data.shape[1]))
+    graph, sepsets, n_tests = pc_skeleton(
+        data,
+        nodes,
+        alpha=alpha,
+        max_cond_size=max_cond_size,
+        ci_test=ci_test,
+        forbidden_cond=forbidden_cond,
+    )
+    graph.orient_v_structures(sepsets)
+    if exogenous:
+        for node in exogenous:
+            for nbr in list(graph.undirected_neighbors(node)):
+                graph.orient(node, nbr)
+    graph.apply_meek_rules()
+    return PCResult(graph, sepsets, n_tests)

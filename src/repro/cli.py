@@ -1,0 +1,117 @@
+"""Command-line interface: regenerate any experiment from the shell.
+
+Usage::
+
+    python -m repro table1 --dataset 5gc --preset smoke
+    python -m repro ablation --dataset 5gipc
+    python -m repro multitarget
+    python -m repro counts --dataset 5gc
+    python -m repro runtime --dataset 5gipc --preset fast
+
+Each subcommand runs one artifact of the paper's evaluation section and
+prints it in the paper's layout (see EXPERIMENTS.md for the mapping).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    format_ablation,
+    format_multitarget,
+    format_runtime,
+    format_table1,
+    format_variant_counts,
+    get_preset,
+    measure_runtime,
+    run_ablation,
+    run_multitarget,
+    run_table1,
+    summarize_improvement,
+    variant_counts,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and analyses.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, *, dataset=True):
+        if dataset:
+            p.add_argument("--dataset", choices=("5gc", "5gipc"), default="5gc")
+        p.add_argument(
+            "--preset", choices=("smoke", "fast", "paper"), default=None,
+            help="experiment scale (default: $REPRO_PRESET or smoke)",
+        )
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("table1", help="Table I: the full method/model/shots grid")
+    add_common(p)
+    p.add_argument("--methods", nargs="*", default=None,
+                   help="subset of Table I method names")
+    p.add_argument("--models", nargs="*", default=None,
+                   help="subset of TNet/MLP/RF/XGB")
+
+    p = sub.add_parser("ablation", help="Table II: reconstruction strategies")
+    add_common(p)
+    p.add_argument("--model", default="TNet")
+
+    p = sub.add_parser("multitarget", help="Table III: two-target robustness")
+    add_common(p, dataset=False)
+
+    p = sub.add_parser("counts", help="§VI-C: variant counts vs shot budget")
+    add_common(p)
+
+    p = sub.add_parser("runtime", help="§VI-D: FS / GAN / inference timing")
+    add_common(p)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    preset = get_preset(args.preset)
+
+    if args.command == "table1":
+        results = run_table1(
+            args.dataset,
+            preset=preset,
+            methods=tuple(args.methods) if args.methods else None,
+            models=tuple(args.models) if args.models else None,
+            random_state=args.seed,
+        )
+        print(format_table1(results, dataset=args.dataset.upper()))
+        summary = summarize_improvement(results)
+        if summary["best_other"] is not None:
+            print(
+                f"\nFS+GAN gain over SrcOnly: {100 * summary['fsgan_gain']:+.1f}; "
+                f"best other ({summary['best_other']}): "
+                f"{100 * summary['best_other_gain']:+.1f}"
+            )
+    elif args.command == "ablation":
+        results = run_ablation(
+            args.dataset, preset=preset, model=args.model, random_state=args.seed
+        )
+        print(format_ablation(results, dataset=args.dataset.upper()))
+    elif args.command == "multitarget":
+        print(format_multitarget(
+            run_multitarget(preset=preset, random_state=args.seed)
+        ))
+    elif args.command == "counts":
+        print(format_variant_counts(
+            variant_counts(args.dataset, preset=preset, random_state=args.seed)
+        ))
+    elif args.command == "runtime":
+        print(format_runtime(
+            measure_runtime(args.dataset, preset=preset, random_state=args.seed)
+        ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: causal feature separation (FS) and
+GAN-based variant-feature reconstruction, composed into model-agnostic
+domain-adaptation pipelines."""
+
+from repro.core.config import (
+    RECONSTRUCTION_STRATEGIES,
+    FSConfig,
+    ReconstructionConfig,
+)
+from repro.core.feature_separation import FeatureSeparator
+from repro.core.monitor import DriftMonitor, DriftReport
+from repro.core.persistence import load_adapter, save_adapter
+from repro.core.pipeline import FSGANPipeline, FSModel
+from repro.core.reconstruction import VariantReconstructor
+
+__all__ = [
+    "DriftMonitor",
+    "DriftReport",
+    "FSConfig",
+    "FSGANPipeline",
+    "FSModel",
+    "FeatureSeparator",
+    "RECONSTRUCTION_STRATEGIES",
+    "ReconstructionConfig",
+    "VariantReconstructor",
+    "load_adapter",
+    "save_adapter",
+]

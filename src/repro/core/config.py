@@ -1,0 +1,77 @@
+"""Configuration dataclasses for the FS / FS+GAN pipeline.
+
+Defaults follow §V-C3 of the paper scaled to CPU budgets; the ``paper()``
+constructors return the exact published settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.errors import ConfigurationError
+
+RECONSTRUCTION_STRATEGIES = ("gan", "nocond", "vae", "autoencoder")
+
+
+@dataclass(frozen=True)
+class FSConfig:
+    """Feature-separation settings (§V-A).
+
+    ``alpha`` is the CI-test significance level; ``max_parents`` the size of
+    the approximate parent set conditioning each ``X ⊥ F | Pa(X)`` test;
+    ``min_correlation`` the parent-candidate admission threshold.
+    """
+
+    alpha: float = 0.01
+    max_parents: int = 5
+    max_cond_size: int = 2
+    min_correlation: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ConfigurationError("alpha must be in (0, 1)")
+        if self.max_parents < 0:
+            raise ConfigurationError("max_parents must be >= 0")
+        if self.max_cond_size < 0:
+            raise ConfigurationError("max_cond_size must be >= 0")
+        if not 0.0 <= self.min_correlation <= 1.0:
+            raise ConfigurationError("min_correlation must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ReconstructionConfig:
+    """Reconstruction settings (§V-C).
+
+    ``strategy`` selects the Table II variant: ``"gan"`` (FS+GAN),
+    ``"nocond"`` (FS+NoCond — discriminator not conditioned on the label),
+    ``"vae"`` (FS+VAE) or ``"autoencoder"`` (FS+VanillaAE).
+    """
+
+    strategy: str = "gan"
+    noise_dim: int = 16
+    hidden_size: int = 128
+    epochs: int = 150
+    batch_size: int = 64
+    lr: float = 2e-4
+    weight_decay: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.strategy not in RECONSTRUCTION_STRATEGIES:
+            raise ConfigurationError(
+                f"strategy must be one of {RECONSTRUCTION_STRATEGIES}, "
+                f"got {self.strategy!r}"
+            )
+        if self.noise_dim < 1 or self.hidden_size < 1:
+            raise ConfigurationError("noise_dim and hidden_size must be >= 1")
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ConfigurationError("epochs and batch_size must be >= 1")
+
+    @classmethod
+    def paper_5gc(cls) -> "ReconstructionConfig":
+        """Published 5GC settings: noise 30, hidden 256, 500 epochs."""
+        return cls(noise_dim=30, hidden_size=256, epochs=500)
+
+    @classmethod
+    def paper_5gipc(cls) -> "ReconstructionConfig":
+        """Published 5GIPC settings: noise 15, hidden 128, 500 epochs."""
+        return cls(noise_dim=15, hidden_size=128, epochs=500)

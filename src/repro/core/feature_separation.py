@@ -1,0 +1,103 @@
+"""FS — causal-inference-based feature separation (§V-A, step 1).
+
+Wraps :class:`repro.causal.FNodeDiscovery` with the estimator surface the
+pipeline needs: fit on (source, few-shot target) matrices, then split /
+merge feature matrices into domain-variant and domain-invariant blocks while
+preserving the original column order (the downstream model is trained with
+the original feature order, Eq. 12's requirement).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.causal.fnode import FNodeDiscovery, FNodeResult
+from repro.core.config import FSConfig
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_array, check_is_fitted
+
+
+class FeatureSeparator:
+    """Separates features into domain-variant and domain-invariant sets.
+
+    Parameters
+    ----------
+    config:
+        :class:`FSConfig`; defaults to the library defaults.
+
+    Examples
+    --------
+    >>> sep = FeatureSeparator()
+    >>> sep.fit(X_source, X_target_few)            # doctest: +SKIP
+    >>> X_inv, X_var = sep.split(X_source)         # doctest: +SKIP
+    """
+
+    def __init__(self, config: FSConfig | None = None) -> None:
+        self.config = config or FSConfig()
+        self.result_: FNodeResult | None = None
+        self.n_features_: int | None = None
+
+    def fit(self, X_source, X_target) -> "FeatureSeparator":
+        """Run intervention-target discovery between the two domains.
+
+        ``X_target`` is the (few-shot) target training data; it is used only
+        here — never to train the downstream model or the GAN.
+        """
+        X_source = check_array(X_source, name="X_source", min_samples=4)
+        X_target = check_array(X_target, name="X_target", min_samples=2)
+        discovery = FNodeDiscovery(
+            alpha=self.config.alpha,
+            max_parents=self.config.max_parents,
+            max_cond_size=self.config.max_cond_size,
+            min_correlation=self.config.min_correlation,
+        )
+        self.result_ = discovery.discover(X_source, X_target)
+        self.n_features_ = X_source.shape[1]
+        return self
+
+    @property
+    def variant_indices_(self) -> np.ndarray:
+        check_is_fitted(self, "result_")
+        return self.result_.variant_indices
+
+    @property
+    def invariant_indices_(self) -> np.ndarray:
+        check_is_fitted(self, "result_")
+        return self.result_.invariant_indices
+
+    @property
+    def n_variant_(self) -> int:
+        check_is_fitted(self, "result_")
+        return self.result_.n_variant
+
+    def split(self, X) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(X_inv, X_var)`` column blocks of ``X``."""
+        check_is_fitted(self, "result_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, separator was fitted with "
+                f"{self.n_features_}"
+            )
+        return X[:, self.invariant_indices_], X[:, self.variant_indices_]
+
+    def merge(self, X_inv, X_var) -> np.ndarray:
+        """Reassemble full-width samples in the original column order.
+
+        This is the "same feature order as x̂" requirement of Eq. (12): the
+        downstream model was trained on source samples with the native
+        column layout, so reconstructed samples must match it.
+        """
+        check_is_fitted(self, "result_")
+        X_inv = check_array(X_inv, name="X_inv")
+        X_var = check_array(X_var, name="X_var")
+        if X_inv.shape[0] != X_var.shape[0]:
+            raise ValidationError("X_inv and X_var row counts differ")
+        if X_inv.shape[1] != len(self.invariant_indices_):
+            raise ValidationError("X_inv width does not match the invariant set")
+        if X_var.shape[1] != len(self.variant_indices_):
+            raise ValidationError("X_var width does not match the variant set")
+        out = np.empty((X_inv.shape[0], self.n_features_))
+        out[:, self.invariant_indices_] = X_inv
+        out[:, self.variant_indices_] = X_var
+        return out

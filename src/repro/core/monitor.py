@@ -1,0 +1,128 @@
+"""Operational drift monitoring on top of the FS machinery.
+
+The paper's deployment story (§VI-F): network-management models stay frozen;
+when the data distribution evolves *further*, only the FS + GAN adapter is
+refreshed — and "FS+GAN only needs to be updated when the data distribution
+undergoes significant changes".  :class:`DriftMonitor` operationalizes that
+trigger: it re-runs intervention-target discovery on each incoming labeled
+batch and reports how far the current variant set has moved from the
+adapter's baseline, so an operator (or an automation loop) can decide when
+``refit_adapter`` is worth its cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.feature_separation import FeatureSeparator
+from repro.core.pipeline import FSGANPipeline
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_array
+
+
+@dataclass
+class DriftReport:
+    """Outcome of one monitoring observation.
+
+    Attributes
+    ----------
+    n_variant:
+        Variant features found against the incoming batch.
+    new_variant / vanished_variant:
+        Features flagged now but not in the adapter's baseline set, and
+        vice versa.
+    jaccard:
+        Overlap between the current and baseline variant sets (1.0 = the
+        drift profile is unchanged; low values = the domain moved again).
+    drifted:
+        Whether the change exceeds the monitor's refresh policy.
+    """
+
+    n_variant: int
+    new_variant: tuple[int, ...]
+    vanished_variant: tuple[int, ...]
+    jaccard: float
+    drifted: bool
+    p_values: np.ndarray = field(repr=False, default=None)
+
+
+class DriftMonitor:
+    """Watches a fitted :class:`FSGANPipeline` for renewed drift.
+
+    Parameters
+    ----------
+    pipeline:
+        A fitted FS+GAN pipeline whose baseline variant set anchors the
+        comparison.
+    jaccard_threshold:
+        Observations whose variant set overlaps the baseline by less than
+        this trigger ``drifted=True``.
+    min_new_variants:
+        Alternatively, at least this many *newly* flagged features trigger
+        a refresh (catches drift that adds targets without removing any).
+    """
+
+    def __init__(
+        self,
+        pipeline: FSGANPipeline,
+        *,
+        jaccard_threshold: float = 0.5,
+        min_new_variants: int = 3,
+    ) -> None:
+        if pipeline.separator_ is None:
+            raise ValidationError("DriftMonitor requires a fitted pipeline")
+        if not 0.0 <= jaccard_threshold <= 1.0:
+            raise ValidationError("jaccard_threshold must be in [0, 1]")
+        if min_new_variants < 1:
+            raise ValidationError("min_new_variants must be >= 1")
+        self.pipeline = pipeline
+        self.jaccard_threshold = jaccard_threshold
+        self.min_new_variants = min_new_variants
+        self.history: list[DriftReport] = []
+
+    @property
+    def baseline_variant_set(self) -> set[int]:
+        return set(self.pipeline.separator_.variant_indices_.tolist())
+
+    def observe(self, X_batch) -> DriftReport:
+        """Run FS against a fresh target batch and compare to the baseline."""
+        X_batch = check_array(X_batch, name="X_batch", min_samples=2)
+        Xs, _ = self.pipeline._fit_cache
+        if X_batch.shape[1] != Xs.shape[1]:
+            raise ValidationError(
+                f"X_batch has {X_batch.shape[1]} features, pipeline expects "
+                f"{Xs.shape[1]}"
+            )
+        separator = FeatureSeparator(self.pipeline.fs_config)
+        separator.fit(Xs, self.pipeline.scaler_.transform(X_batch))
+        current = set(separator.variant_indices_.tolist())
+        baseline = self.baseline_variant_set
+        union = current | baseline
+        jaccard = len(current & baseline) / len(union) if union else 1.0
+        new = tuple(sorted(current - baseline))
+        vanished = tuple(sorted(baseline - current))
+        drifted = jaccard < self.jaccard_threshold or len(new) >= self.min_new_variants
+        report = DriftReport(
+            n_variant=len(current),
+            new_variant=new,
+            vanished_variant=vanished,
+            jaccard=jaccard,
+            drifted=drifted,
+            p_values=separator.result_.p_values,
+        )
+        self.history.append(report)
+        return report
+
+    def observe_and_refresh(self, X_batch) -> tuple[DriftReport, bool]:
+        """Observe; refit the adapter iff the refresh policy fires.
+
+        The downstream model is never touched (the paper's no-retraining
+        property); only FS and the reconstruction model are refreshed.
+        """
+        report = self.observe(X_batch)
+        if report.drifted:
+            self.pipeline.refit_adapter(X_batch)
+            return report, True
+        return report, False

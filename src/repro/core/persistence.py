@@ -1,0 +1,154 @@
+"""Adapter persistence: save/load the FS + GAN artifacts of a pipeline.
+
+In the paper's deployment model the network-management models live wherever
+they were deployed and never change; what evolves — and therefore what needs
+shipping between systems — is the lightweight *adapter*: the scaler
+statistics, the variant/invariant split, and the trained generator.  This
+module serializes exactly that to a single ``.npz`` file.
+
+``load_adapter`` restores the adapter into a pipeline whose downstream model
+was (re)created by the caller — typically the already-deployed model object.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import FSConfig, ReconstructionConfig
+from repro.core.feature_separation import FeatureSeparator
+from repro.core.pipeline import FSGANPipeline
+from repro.core.reconstruction import VariantReconstructor
+from repro.gan.cgan import ConditionalGAN
+from repro.ml.preprocessing import MinMaxScaler
+from repro.utils.errors import ValidationError
+
+_FORMAT_VERSION = 1
+
+
+def save_adapter(pipeline: FSGANPipeline, path) -> Path:
+    """Serialize a fitted pipeline's adapter (scaler + FS + generator).
+
+    Only the GAN strategies are supported (the deployment path); the VAE/AE
+    ablation arms are experiment-only.
+    """
+    if pipeline.separator_ is None or pipeline.reconstructor_ is None:
+        raise ValidationError("save_adapter requires a fitted pipeline")
+    model = pipeline.reconstructor_.model_
+    if not isinstance(model, ConditionalGAN):
+        raise ValidationError(
+            "only GAN-based adapters are serializable "
+            f"(got {type(model).__name__})"
+        )
+    path = Path(path)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "fs_config": {
+            "alpha": pipeline.fs_config.alpha,
+            "max_parents": pipeline.fs_config.max_parents,
+            "max_cond_size": pipeline.fs_config.max_cond_size,
+            "min_correlation": pipeline.fs_config.min_correlation,
+        },
+        "reconstruction": {
+            "strategy": pipeline.reconstruction_config.strategy,
+            "noise_dim": model.noise_dim,
+            "hidden_size": model.hidden_size,
+            "conditional": model.conditional,
+            "n_classes": model.n_classes_,
+            "n_invariant": model.n_invariant_,
+            "n_variant": model.n_variant_,
+        },
+        "n_features": pipeline.separator_.n_features_,
+    }
+    arrays = {
+        "meta_json": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        "scaler_min": pipeline.scaler_.data_min_,
+        "scaler_max": pipeline.scaler_.data_max_,
+        "variant_indices": pipeline.separator_.variant_indices_,
+        "invariant_indices": pipeline.separator_.invariant_indices_,
+        "p_values": pipeline.separator_.result_.p_values,
+    }
+    for key, value in model.generator_.state_dict().items():
+        arrays[f"generator.{key}"] = value
+    for key, value in model.discriminator_.state_dict().items():
+        arrays[f"discriminator.{key}"] = value
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_adapter(path, pipeline: FSGANPipeline) -> FSGANPipeline:
+    """Restore a saved adapter into ``pipeline`` (downstream model untouched).
+
+    The pipeline must already hold its downstream model (either fitted or
+    attached by the caller); this call replaces its scaler, separator and
+    reconstructor with the saved artifacts.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"no adapter file at {path}")
+    data = np.load(path, allow_pickle=False)
+    meta = json.loads(bytes(data["meta_json"].tobytes()).decode())
+    if meta["format_version"] != _FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported adapter format version {meta['format_version']}"
+        )
+
+    scaler = MinMaxScaler()
+    scaler.data_min_ = data["scaler_min"]
+    scaler.data_max_ = data["scaler_max"]
+    span = scaler.data_max_ - scaler.data_min_
+    usable = span > 2.0 / np.finfo(np.float64).max
+    scaler._scale = np.where(usable, 2.0 / np.where(usable, span, 1.0), 0.0)
+
+    fs_config = FSConfig(**meta["fs_config"])
+    separator = FeatureSeparator(fs_config)
+    from repro.causal.fnode import FNodeResult
+
+    separator.n_features_ = int(meta["n_features"])
+    separator.result_ = FNodeResult(
+        variant_indices=data["variant_indices"],
+        invariant_indices=data["invariant_indices"],
+        p_values=data["p_values"],
+    )
+
+    rec_meta = meta["reconstruction"]
+    gan = ConditionalGAN(
+        noise_dim=int(rec_meta["noise_dim"]),
+        hidden_size=int(rec_meta["hidden_size"]),
+        conditional=bool(rec_meta["conditional"]),
+        epochs=1,
+        random_state=0,
+    )
+    gan.n_invariant_ = int(rec_meta["n_invariant"])
+    gan.n_variant_ = int(rec_meta["n_variant"])
+    gan.n_classes_ = int(rec_meta["n_classes"]) if rec_meta["n_classes"] else 0
+    gan._rng = np.random.default_rng(0)
+    rng = np.random.default_rng(0)
+    gan.generator_ = gan._build_generator(rng)
+    gan.discriminator_ = gan._build_discriminator(rng)
+    gan.generator_.load_state_dict(
+        {k.removeprefix("generator."): data[k] for k in data.files
+         if k.startswith("generator.")}
+    )
+    gan.discriminator_.load_state_dict(
+        {k.removeprefix("discriminator."): data[k] for k in data.files
+         if k.startswith("discriminator.")}
+    )
+
+    reconstructor = VariantReconstructor(
+        ReconstructionConfig(
+            strategy=meta["reconstruction"]["strategy"],
+            noise_dim=int(rec_meta["noise_dim"]),
+            hidden_size=int(rec_meta["hidden_size"]),
+        )
+    )
+    reconstructor.model_ = gan
+    reconstructor.n_classes_ = gan.n_classes_ or None
+
+    pipeline.scaler_ = scaler
+    pipeline.separator_ = separator
+    pipeline.reconstructor_ = reconstructor
+    pipeline.fs_config = fs_config
+    return pipeline

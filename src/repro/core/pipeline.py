@@ -1,0 +1,196 @@
+"""End-to-end FS / FS+GAN pipelines (Fig. 1 of the paper).
+
+Two model-agnostic estimators:
+
+- :class:`FSModel` — step 1 only: separate features, train the downstream
+  network-management model **on source data restricted to the invariant
+  features** ("FS (ours)" in Table I).
+- :class:`FSGANPipeline` — the full method: the downstream model is trained
+  on source data **with all features**; at inference each target sample's
+  variant block is replaced by the GAN reconstruction (Eqs. 10–12), so the
+  model never needs retraining when the domain drifts again ("FS+GAN
+  (ours)").
+
+Both accept any classifier with ``fit(X, y)`` / ``predict(X)`` via a
+``model_factory`` callable, normalize features to [-1, 1] with statistics
+fitted on source (the paper's normalization), and use the few-shot target
+data *only* inside the FS step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import FSConfig, ReconstructionConfig
+from repro.core.feature_separation import FeatureSeparator
+from repro.core.reconstruction import VariantReconstructor
+from repro.ml.preprocessing import MinMaxScaler
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_array, check_is_fitted, check_X_y
+
+
+class FSModel:
+    """FS-only domain adaptation: train on source invariant features.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable returning a fresh classifier.
+    fs_config:
+        Feature-separation settings.
+    """
+
+    def __init__(self, model_factory, *, fs_config: FSConfig | None = None) -> None:
+        if not callable(model_factory):
+            raise ValidationError("model_factory must be callable")
+        self.model_factory = model_factory
+        self.fs_config = fs_config or FSConfig()
+        self.scaler_: MinMaxScaler | None = None
+        self.separator_: FeatureSeparator | None = None
+        self.model_ = None
+
+    def fit(self, X_source, y_source, X_target_few, y_target_few=None) -> "FSModel":
+        """Separate features, then fit the downstream model on source-invariant data.
+
+        ``y_target_few`` is accepted for API symmetry; FS does not use target
+        labels.
+        """
+        X_source, y_source = check_X_y(X_source, y_source)
+        X_target_few = check_array(X_target_few, name="X_target_few")
+        self.scaler_ = MinMaxScaler().fit(X_source)
+        Xs = self.scaler_.transform(X_source)
+        Xt = self.scaler_.transform(X_target_few)
+        self.separator_ = FeatureSeparator(self.fs_config).fit(Xs, Xt)
+        X_inv, _ = self.separator_.split(Xs)
+        if X_inv.shape[1] == 0:
+            raise ValidationError(
+                "FS flagged every feature as domain-variant; nothing to train on"
+            )
+        self.model_ = self.model_factory()
+        self.model_.fit(X_inv, y_source)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict target samples using only their invariant features."""
+        check_is_fitted(self, "model_")
+        X_inv, _ = self.separator_.split(self.scaler_.transform(X))
+        return self.model_.predict(X_inv)
+
+    @property
+    def n_variant_(self) -> int:
+        check_is_fitted(self, "separator_")
+        return self.separator_.n_variant_
+
+
+class FSGANPipeline:
+    """The full FS+GAN method (Fig. 1): separation, reconstruction, inference.
+
+    Training (source only, besides the FS step):
+
+    1. fit the [-1, 1] scaler on source;
+    2. FS between scaled source and scaled few-shot target (step a);
+    3. train the downstream model on scaled source with **all** features;
+    4. train the reconstruction model (GAN by default) on the source
+       invariant/variant blocks, conditioned on the source labels (step b).
+
+    Inference on a target sample (step c): reconstruct the variant block
+    from the invariant block, merge in the original column order, and feed
+    the source-like sample to the frozen downstream model.
+    """
+
+    def __init__(
+        self,
+        model_factory,
+        *,
+        fs_config: FSConfig | None = None,
+        reconstruction_config: ReconstructionConfig | None = None,
+        random_state=None,
+    ) -> None:
+        if not callable(model_factory):
+            raise ValidationError("model_factory must be callable")
+        self.model_factory = model_factory
+        self.fs_config = fs_config or FSConfig()
+        self.reconstruction_config = reconstruction_config or ReconstructionConfig()
+        self.random_state = random_state
+        self.scaler_: MinMaxScaler | None = None
+        self.separator_: FeatureSeparator | None = None
+        self.reconstructor_: VariantReconstructor | None = None
+        self.model_ = None
+
+    def fit(
+        self, X_source, y_source, X_target_few, y_target_few=None
+    ) -> "FSGANPipeline":
+        """Fit the whole pipeline; target labels are never used."""
+        X_source, y_source = check_X_y(X_source, y_source)
+        X_target_few = check_array(X_target_few, name="X_target_few")
+        if X_target_few.shape[1] != X_source.shape[1]:
+            raise ValidationError("source and target feature counts differ")
+        self.scaler_ = MinMaxScaler().fit(X_source)
+        Xs = self.scaler_.transform(X_source)
+        Xt = self.scaler_.transform(X_target_few)
+        self._cached_source = (Xs, y_source)
+
+        self.separator_ = FeatureSeparator(self.fs_config).fit(Xs, Xt)
+        X_inv, X_var = self.separator_.split(Xs)
+
+        self.model_ = self.model_factory()
+        self.model_.fit(Xs, y_source)  # all features, source only
+
+        self.reconstructor_ = VariantReconstructor(
+            self.reconstruction_config, random_state=self.random_state
+        )
+        self.reconstructor_.fit(X_inv, X_var, y_source)
+        return self
+
+    def refit_adapter(self, X_target_few) -> "FSGANPipeline":
+        """Re-run FS + reconstruction for a *new* target domain.
+
+        The downstream model is left untouched — this is the paper's
+        "no retraining or fine-tuning required" property (§VI-F): only the
+        lightweight adapter (FS + GAN) is refreshed when the domain evolves.
+        """
+        check_is_fitted(self, "model_")
+        if self._fit_cache is None:
+            raise ValidationError("refit_adapter requires the pipeline to be fitted")
+        Xs, y_source = self._fit_cache
+        Xt = self.scaler_.transform(check_array(X_target_few, name="X_target_few"))
+        self.separator_ = FeatureSeparator(self.fs_config).fit(Xs, Xt)
+        X_inv, X_var = self.separator_.split(Xs)
+        self.reconstructor_ = VariantReconstructor(
+            self.reconstruction_config, random_state=self.random_state
+        )
+        self.reconstructor_.fit(X_inv, X_var, y_source)
+        return self
+
+    @property
+    def _fit_cache(self):
+        return getattr(self, "_cached_source", None)
+
+    def transform(self, X, *, n_draws: int = 1) -> np.ndarray:
+        """Map target samples to source-like samples (scaled space, Eq. 11)."""
+        check_is_fitted(self, "model_")
+        Xs = self.scaler_.transform(check_array(X))
+        X_inv, _ = self.separator_.split(Xs)
+        X_var_hat = self.reconstructor_.reconstruct(X_inv, n_draws=n_draws)
+        return self.separator_.merge(X_inv, X_var_hat)
+
+    def predict(self, X, *, n_draws: int = 1) -> np.ndarray:
+        """Predict labels for target samples via the reconstruction path (Eq. 12)."""
+        return self.model_.predict(self.transform(X, n_draws=n_draws))
+
+    def predict_proba(self, X, *, n_draws: int = 1) -> np.ndarray:
+        """Class probabilities, when the downstream model provides them."""
+        check_is_fitted(self, "model_")
+        if not hasattr(self.model_, "predict_proba"):
+            raise ValidationError("the downstream model has no predict_proba")
+        return self.model_.predict_proba(self.transform(X, n_draws=n_draws))
+
+    def predict_source(self, X) -> np.ndarray:
+        """Predict source-domain samples directly (no reconstruction)."""
+        check_is_fitted(self, "model_")
+        return self.model_.predict(self.scaler_.transform(check_array(X)))
+
+    @property
+    def n_variant_(self) -> int:
+        check_is_fitted(self, "separator_")
+        return self.separator_.n_variant_

@@ -1,0 +1,30 @@
+"""Dataset substrate: the SCM engine with soft interventions and the two
+synthetic 5G drift benchmarks standing in for the paper's public datasets."""
+
+from repro.datasets.fivegc import FiveGCConfig, build_5gc_scm, make_5gc
+from repro.datasets.fivegipc import (
+    FiveGIPCConfig,
+    build_5gipc_scm,
+    make_5gipc,
+    make_5gipc_multitarget,
+)
+from repro.datasets.scm import (
+    DriftBenchmark,
+    NodeSpec,
+    SoftIntervention,
+    StructuralCausalModel,
+)
+
+__all__ = [
+    "DriftBenchmark",
+    "FiveGCConfig",
+    "FiveGIPCConfig",
+    "NodeSpec",
+    "SoftIntervention",
+    "StructuralCausalModel",
+    "build_5gc_scm",
+    "build_5gipc_scm",
+    "make_5gc",
+    "make_5gipc",
+    "make_5gipc_multitarget",
+]

@@ -1,0 +1,39 @@
+"""Downstream model factories for the four Table I classifiers."""
+
+from __future__ import annotations
+
+from repro.experiments.presets import ExperimentPreset
+from repro.ml.gradient_boosting import GradientBoostingClassifier
+from repro.ml.mlp import MLPClassifier
+from repro.ml.random_forest import RandomForestClassifier
+from repro.ml.tabnet import TNetClassifier
+
+MODEL_NAMES = ("TNet", "MLP", "RF", "XGB")
+
+
+def model_factories(preset: ExperimentPreset, *, random_state: int = 0) -> dict:
+    """Factories for the four downstream network-management models.
+
+    Every call of a factory yields a *fresh* model so repeated fits never
+    share state; ``random_state`` pins weight initialization per cell.
+    """
+    p = preset.models
+    return {
+        "TNet": lambda: TNetClassifier(
+            epochs=p.tnet_epochs, random_state=random_state
+        ),
+        "MLP": lambda: MLPClassifier(
+            epochs=p.mlp_epochs, random_state=random_state
+        ),
+        "RF": lambda: RandomForestClassifier(
+            n_estimators=p.rf_estimators,
+            max_depth=p.rf_max_depth,
+            random_state=random_state,
+        ),
+        "XGB": lambda: GradientBoostingClassifier(
+            n_estimators=p.xgb_estimators,
+            max_depth=p.xgb_max_depth,
+            max_features=p.xgb_max_features,
+            random_state=random_state,
+        ),
+    }

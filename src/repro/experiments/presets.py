@@ -1,0 +1,106 @@
+"""Experiment presets: paper-scale and scaled-down configurations.
+
+The paper ran on a dual-Xeon + Tesla P40 server; this reproduction runs on
+whatever CPU is available, so every experiment accepts a preset:
+
+- ``smoke`` — minutes-scale, for CI and pytest-benchmark runs;
+- ``fast``  — the default preset behind the recorded EXPERIMENTS.md numbers;
+- ``paper`` — full published sizes (442 features, 3,645 source samples,
+  20 repeats, 500-epoch GAN).  Hours-scale on CPU.
+
+Select at runtime with the ``REPRO_PRESET`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.datasets.fivegc import FiveGCConfig
+from repro.datasets.fivegipc import FiveGIPCConfig
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Downstream-model hyperparameters for one preset."""
+
+    tnet_epochs: int = 40
+    mlp_epochs: int = 30
+    rf_estimators: int = 30
+    rf_max_depth: int = 12
+    xgb_estimators: int = 15
+    xgb_max_depth: int = 3
+    xgb_max_features: float = 0.3
+
+
+@dataclass(frozen=True)
+class ExperimentPreset:
+    """Everything a table run needs: dataset sizes, model/GAN budgets, repeats."""
+
+    name: str
+    fivegc: FiveGCConfig
+    fivegipc: FiveGIPCConfig
+    models: ModelParams
+    gan_epochs: int
+    gan_noise_dim: int
+    gan_hidden: int
+    repeats: int
+    shots: tuple[int, ...] = (1, 5, 10)
+    baseline_epochs: int = 40
+    episodes: int = 200
+
+
+PRESETS: dict[str, ExperimentPreset] = {
+    "smoke": ExperimentPreset(
+        name="smoke",
+        fivegc=FiveGCConfig(n_source=480, n_target=360, feature_scale=0.15),
+        fivegipc=FiveGIPCConfig(sample_scale=0.08, feature_scale=0.6),
+        models=ModelParams(
+            tnet_epochs=30, mlp_epochs=30, rf_estimators=15, rf_max_depth=10,
+            xgb_estimators=8, xgb_max_depth=3, xgb_max_features=0.3,
+        ),
+        gan_epochs=250,
+        gan_noise_dim=6,
+        gan_hidden=128,
+        repeats=1,
+        baseline_epochs=30,
+        episodes=100,
+    ),
+    "fast": ExperimentPreset(
+        name="fast",
+        fivegc=FiveGCConfig(n_source=800, n_target=480, feature_scale=0.25),
+        fivegipc=FiveGIPCConfig(sample_scale=0.15, feature_scale=1.0),
+        models=ModelParams(),
+        gan_epochs=300,
+        gan_noise_dim=8,
+        gan_hidden=128,
+        repeats=3,
+    ),
+    "paper": ExperimentPreset(
+        name="paper",
+        fivegc=FiveGCConfig(),  # 442 features, 3,645 source samples
+        fivegipc=FiveGIPCConfig(),
+        models=ModelParams(
+            tnet_epochs=60, mlp_epochs=60, rf_estimators=100, rf_max_depth=None,
+            xgb_estimators=50, xgb_max_depth=4, xgb_max_features=0.2,
+        ),
+        gan_epochs=500,
+        gan_noise_dim=30,
+        gan_hidden=256,
+        repeats=20,
+        baseline_epochs=60,
+        episodes=500,
+    ),
+}
+
+
+def get_preset(name: str | None = None) -> ExperimentPreset:
+    """Resolve a preset by name, or from ``REPRO_PRESET`` (default: smoke)."""
+    key = name or os.environ.get("REPRO_PRESET", "smoke")
+    try:
+        return PRESETS[key]
+    except KeyError:
+        raise ValidationError(
+            f"unknown preset {key!r}; available: {sorted(PRESETS)}"
+        ) from None

@@ -1,0 +1,73 @@
+"""Running-time measurements of §VI-D.
+
+The paper reports: FS ≈ 42 min (5GC) / 35 min (5GIPC) dominated by CI
+tests; GAN training ≈ 12 / 7 min; inference ≈ 0.05 s per sample (one
+generator forward pass).  This module measures the same three quantities on
+the configured preset so the scaling story (FS > GAN training ≫ inference)
+can be checked at any size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import FSConfig, ReconstructionConfig
+from repro.core.feature_separation import FeatureSeparator
+from repro.core.reconstruction import VariantReconstructor
+from repro.experiments.presets import ExperimentPreset, get_preset
+from repro.experiments.runner import make_benchmark
+from repro.ml.preprocessing import MinMaxScaler
+
+
+def measure_runtime(
+    dataset: str = "5gc",
+    *,
+    preset: str | ExperimentPreset | None = None,
+    shots: int = 10,
+    n_inference_samples: int = 64,
+    random_state: int = 0,
+) -> dict:
+    """Wall-clock seconds for FS discovery, GAN training and per-sample inference."""
+    preset = preset if isinstance(preset, ExperimentPreset) else get_preset(preset)
+    bench = make_benchmark(dataset, preset, random_state=random_state)
+    X_few, _, X_test, _ = bench.few_shot_split(shots, random_state=random_state)
+    scaler = MinMaxScaler().fit(bench.X_source)
+    Xs = scaler.transform(bench.X_source)
+
+    t0 = time.perf_counter()
+    sep = FeatureSeparator(FSConfig()).fit(Xs, scaler.transform(X_few))
+    fs_seconds = time.perf_counter() - t0
+
+    X_inv, X_var = sep.split(Xs)
+    rec = VariantReconstructor(
+        ReconstructionConfig(
+            strategy="gan",
+            noise_dim=preset.gan_noise_dim,
+            hidden_size=preset.gan_hidden,
+            epochs=preset.gan_epochs,
+        ),
+        random_state=random_state,
+    )
+    t0 = time.perf_counter()
+    rec.fit(X_inv, X_var, bench.y_source)
+    gan_seconds = time.perf_counter() - t0
+
+    Xt = scaler.transform(X_test[:n_inference_samples])
+    inv_block, _ = sep.split(Xt)
+    t0 = time.perf_counter()
+    for row in inv_block:  # one sample at a time, as in online inference
+        rec.reconstruct(row[None, :])
+    per_sample = (time.perf_counter() - t0) / len(inv_block)
+
+    return {
+        "dataset": dataset,
+        "preset": preset.name,
+        "n_features": bench.n_features,
+        "n_variant": sep.n_variant_,
+        "n_ci_tests": int(sep.result_.n_tests),
+        "fs_seconds": fs_seconds,
+        "gan_train_seconds": gan_seconds,
+        "inference_seconds_per_sample": per_sample,
+    }

@@ -1,0 +1,20 @@
+"""Generative substrate: the conditional GAN of §V-C and the VAE /
+vanilla-autoencoder alternatives used in the Table II ablation.
+
+All three expose the same surface — ``fit(X_inv, X_var, y_onehot)`` and
+``generate(X_inv)`` — so the reconstruction step of the pipeline is
+strategy-agnostic.
+"""
+
+from repro.gan.autoencoder import VanillaAutoencoder
+from repro.gan.cgan import ConditionalGAN
+from repro.gan.transformer import BlockInfo, TabularTransformer
+from repro.gan.vae import ConditionalVAE
+
+__all__ = [
+    "BlockInfo",
+    "ConditionalGAN",
+    "ConditionalVAE",
+    "TabularTransformer",
+    "VanillaAutoencoder",
+]

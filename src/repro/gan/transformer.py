@@ -1,0 +1,166 @@
+"""CTGAN-style tabular data transformer (mode-specific normalization).
+
+§V-C3 of the paper adopts the CTGAN architecture, whose defining data
+representation (Xu et al., 2019) this module implements:
+
+- **continuous columns** are fit with a small 1-D Gaussian mixture; each
+  value becomes a bounded scalar ``alpha`` (its deviation within the
+  assigned mode, clipped to [-1, 1]) plus a one-hot **mode indicator** —
+  letting the generator's tanh head model multi-modal telemetry (e.g.
+  bimodal CPU utilization) that a single min-max scale would wash out;
+- **discrete columns** become one-hot blocks, generated through a
+  Gumbel-softmax head.
+
+``output_info`` describes the encoded layout so a generator can attach the
+right activation to each block (tanh for scalars, Gumbel-softmax for
+indicator blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.gmm import GaussianMixture
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_array, check_is_fitted, check_random_state
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """One block of the encoded representation.
+
+    ``kind`` is ``"alpha"`` (bounded scalar, tanh head) or ``"onehot"``
+    (categorical indicator, Gumbel-softmax head); ``size`` its width;
+    ``column`` the source column index.
+    """
+
+    kind: str
+    size: int
+    column: int
+
+
+class TabularTransformer:
+    """Mode-specific normalization for mixed continuous/discrete tables.
+
+    Parameters
+    ----------
+    max_modes:
+        Maximum Gaussian-mixture modes fitted per continuous column.
+    discrete_columns:
+        Indices of columns holding categorical codes.
+    """
+
+    def __init__(self, *, max_modes: int = 5, discrete_columns: tuple[int, ...] = (),
+                 random_state=None) -> None:
+        if max_modes < 1:
+            raise ValidationError("max_modes must be >= 1")
+        self.max_modes = max_modes
+        self.discrete_columns = tuple(sorted(set(int(c) for c in discrete_columns)))
+        self.random_state = random_state
+        self.output_info_: list[BlockInfo] | None = None
+        self._column_models: list | None = None
+        self.n_features_: int | None = None
+
+    def fit(self, X) -> "TabularTransformer":
+        X = check_array(X, min_samples=2)
+        self.n_features_ = X.shape[1]
+        for c in self.discrete_columns:
+            if not 0 <= c < self.n_features_:
+                raise ValidationError(f"discrete column {c} out of range")
+        rng = check_random_state(self.random_state)
+        self.output_info_ = []
+        self._column_models = []
+        for j in range(self.n_features_):
+            col = X[:, j]
+            if j in self.discrete_columns:
+                categories = np.unique(col.astype(np.int64))
+                self._column_models.append(("discrete", categories))
+                self.output_info_.append(BlockInfo("onehot", len(categories), j))
+            else:
+                n_modes = min(self.max_modes, max(1, len(np.unique(col)) // 10 + 1))
+                gmm = GaussianMixture(
+                    n_modes, random_state=int(rng.integers(0, 2**31 - 1))
+                )
+                gmm.fit(col[:, None])
+                self._column_models.append(("continuous", gmm))
+                self.output_info_.append(BlockInfo("alpha", 1, j))
+                self.output_info_.append(BlockInfo("onehot", n_modes, j))
+        return self
+
+    @property
+    def output_dim(self) -> int:
+        check_is_fitted(self, "output_info_")
+        return sum(block.size for block in self.output_info_)
+
+    def transform(self, X) -> np.ndarray:
+        """Encode rows into the (alpha, mode-indicator / one-hot) layout."""
+        check_is_fitted(self, "output_info_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_:
+            raise ValidationError(
+                f"X has {X.shape[1]} columns, transformer fitted with "
+                f"{self.n_features_}"
+            )
+        pieces = []
+        for j, (kind, model) in enumerate(self._column_models):
+            col = X[:, j]
+            if kind == "discrete":
+                categories = model
+                onehot = np.zeros((len(col), len(categories)))
+                codes = np.searchsorted(categories, col.astype(np.int64))
+                if np.any(categories[np.clip(codes, 0, len(categories) - 1)]
+                          != col.astype(np.int64)):
+                    raise ValidationError(
+                        f"column {j} contains categories unseen during fit"
+                    )
+                onehot[np.arange(len(col)), codes] = 1.0
+                pieces.append(onehot)
+            else:
+                gmm = model
+                resp = gmm.predict_proba(col[:, None])
+                modes = np.argmax(resp, axis=1)
+                mu = gmm.means_[modes, 0]
+                sigma = np.sqrt(gmm.variances_[modes, 0])
+                alpha = np.clip((col - mu) / (4.0 * sigma), -1.0, 1.0)
+                onehot = np.zeros((len(col), gmm.n_components))
+                onehot[np.arange(len(col)), modes] = 1.0
+                pieces.append(alpha[:, None])
+                pieces.append(onehot)
+        return np.concatenate(pieces, axis=1)
+
+    def inverse_transform(self, Z) -> np.ndarray:
+        """Decode the (alpha, indicator) layout back to original columns."""
+        check_is_fitted(self, "output_info_")
+        Z = check_array(Z)
+        if Z.shape[1] != self.output_dim:
+            raise ValidationError(
+                f"Z has {Z.shape[1]} columns, expected {self.output_dim}"
+            )
+        out = np.empty((Z.shape[0], self.n_features_))
+        pos = 0
+        model_iter = iter(self._column_models)
+        block_iter = iter(self.output_info_)
+        for kind, model in model_iter:
+            if kind == "discrete":
+                block = next(block_iter)
+                categories = model
+                codes = np.argmax(Z[:, pos : pos + block.size], axis=1)
+                out[:, block.column] = categories[codes]
+                pos += block.size
+            else:
+                alpha_block = next(block_iter)
+                mode_block = next(block_iter)
+                gmm = model
+                alpha = np.clip(Z[:, pos], -1.0, 1.0)
+                pos += 1
+                modes = np.argmax(Z[:, pos : pos + mode_block.size], axis=1)
+                pos += mode_block.size
+                mu = gmm.means_[modes, 0]
+                sigma = np.sqrt(gmm.variances_[modes, 0])
+                out[:, alpha_block.column] = alpha * 4.0 * sigma + mu
+        return out
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)

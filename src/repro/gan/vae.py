@@ -1,0 +1,167 @@
+"""Conditional variational autoencoder — the FS+VAE ablation of Table II.
+
+Encodes ``X_var`` conditioned on ``X_inv`` into a Gaussian latent, decodes
+back to ``X̂_var``; at inference the decoder is driven by prior samples, so
+the usage mirrors the GAN generator exactly.  The decoder architecture
+matches the paper's generator (two hidden layers, batch norm, ReLU, tanh
+output) as §VI-E specifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm1d, Dense, ReLU, Tanh
+from repro.nn.network import Sequential, iterate_minibatches
+from repro.nn.optimizers import Adam
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_array, check_is_fitted, check_random_state
+
+
+class ConditionalVAE:
+    """CVAE: ``q(z | X_inv, X_var)`` encoder, ``p(X_var | X_inv, z)`` decoder.
+
+    Parameters
+    ----------
+    latent_dim:
+        Latent size (kept equal to the GAN noise dimension in the ablation).
+    beta:
+        Weight of the KL term.
+    """
+
+    def __init__(
+        self,
+        *,
+        latent_dim: int = 16,
+        hidden_size: int = 128,
+        epochs: int = 200,
+        batch_size: int = 64,
+        lr: float = 2e-4,
+        weight_decay: float = 1e-6,
+        beta: float = 1.0,
+        random_state=None,
+    ) -> None:
+        if latent_dim < 1 or hidden_size < 1:
+            raise ValidationError("latent_dim and hidden_size must be >= 1")
+        if epochs < 1 or batch_size < 1:
+            raise ValidationError("epochs and batch_size must be >= 1")
+        if beta < 0:
+            raise ValidationError("beta must be non-negative")
+        self.latent_dim = latent_dim
+        self.hidden_size = hidden_size
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.beta = beta
+        self.random_state = random_state
+        self.encoder_: Sequential | None = None
+        self.mu_head_: Dense | None = None
+        self.logvar_head_: Dense | None = None
+        self.decoder_: Sequential | None = None
+        self.n_invariant_: int | None = None
+        self.n_variant_: int | None = None
+        self.history_: list[float] = []
+
+    def fit(self, X_inv, X_var, y_onehot=None) -> "ConditionalVAE":
+        """Train on source triples; ``y_onehot`` accepted for API parity (unused)."""
+        X_inv = check_array(X_inv, name="X_inv")
+        X_var = check_array(X_var, name="X_var")
+        if X_inv.shape[0] != X_var.shape[0]:
+            raise ValidationError("X_inv and X_var must have the same number of rows")
+        self.n_invariant_ = X_inv.shape[1]
+        self.n_variant_ = X_var.shape[1]
+        rng = check_random_state(self.random_state)
+        self._rng = rng
+        h = self.hidden_size
+        seed = lambda: int(rng.integers(0, 2**31 - 1))  # noqa: E731
+        self.encoder_ = Sequential(
+            [
+                Dense(self.n_invariant_ + self.n_variant_, h, random_state=seed()),
+                ReLU(),
+                Dense(h, h, random_state=seed()),
+                ReLU(),
+            ]
+        )
+        self.mu_head_ = Dense(h, self.latent_dim, init="glorot_uniform", random_state=seed())
+        self.logvar_head_ = Dense(h, self.latent_dim, init="glorot_uniform",
+                                  random_state=seed())
+        self.decoder_ = Sequential(
+            [
+                Dense(self.n_invariant_ + self.latent_dim, h, random_state=seed()),
+                BatchNorm1d(h),
+                ReLU(),
+                Dense(h, h, random_state=seed()),
+                BatchNorm1d(h),
+                ReLU(),
+                Dense(h, self.n_variant_, init="glorot_uniform", random_state=seed()),
+                Tanh(),
+            ]
+        )
+        layers = (
+            self.encoder_.trainable_layers()
+            + [self.mu_head_, self.logvar_head_]
+            + self.decoder_.trainable_layers()
+        )
+        opt = Adam(layers, lr=self.lr, weight_decay=self.weight_decay)
+        n = X_inv.shape[0]
+        batch = min(self.batch_size, n)
+        self.history_ = []
+        for _ in range(self.epochs):
+            losses = []
+            for idx in iterate_minibatches(n, batch, rng):
+                inv, var = X_inv[idx], X_var[idx]
+                m = inv.shape[0]
+                enc = self.encoder_.forward(
+                    np.concatenate([inv, var], axis=1), training=True
+                )
+                mu = self.mu_head_.forward(enc, training=True)
+                logvar = np.clip(self.logvar_head_.forward(enc, training=True), -10, 10)
+                std = np.exp(0.5 * logvar)
+                eps = rng.standard_normal(mu.shape)
+                z = mu + eps * std
+                recon = self.decoder_.forward(
+                    np.concatenate([inv, z], axis=1), training=True
+                )
+                diff = recon - var
+                recon_loss = float(np.mean(diff**2))
+                kl = float(0.5 * np.mean(np.sum(mu**2 + np.exp(logvar) - 1 - logvar, axis=1)))
+                losses.append(recon_loss + self.beta * kl)
+
+                # --- backward
+                grad_recon = 2.0 * diff / diff.size
+                grad_dec_in = self.decoder_.backward(grad_recon)
+                grad_z = grad_dec_in[:, self.n_invariant_:]
+                # reparameterization: z = mu + eps * exp(logvar/2)
+                grad_mu = grad_z + self.beta * mu / m
+                grad_logvar = (
+                    grad_z * eps * std * 0.5
+                    + self.beta * 0.5 * (np.exp(logvar) - 1.0) / m
+                )
+                grad_enc = self.mu_head_.backward(grad_mu) + self.logvar_head_.backward(
+                    grad_logvar
+                )
+                self.encoder_.backward(grad_enc)
+                opt.step()
+                opt.zero_grad()
+            self.history_.append(float(np.mean(losses)))
+        return self
+
+    def generate(self, X_inv, *, n_draws: int = 1, random_state=None) -> np.ndarray:
+        """Decode prior samples conditioned on ``X_inv`` (GAN-compatible API)."""
+        check_is_fitted(self, "decoder_")
+        X_inv = check_array(X_inv, name="X_inv")
+        if X_inv.shape[1] != self.n_invariant_:
+            raise ValidationError(
+                f"expected {self.n_invariant_} invariant features, got {X_inv.shape[1]}"
+            )
+        if n_draws < 1:
+            raise ValidationError("n_draws must be >= 1")
+        rng = check_random_state(random_state) if random_state is not None else self._rng
+        total = np.zeros((X_inv.shape[0], self.n_variant_))
+        for _ in range(n_draws):
+            z = rng.standard_normal((X_inv.shape[0], self.latent_dim))
+            total += self.decoder_.forward(
+                np.concatenate([X_inv, z], axis=1), training=False
+            )
+        return total / n_draws

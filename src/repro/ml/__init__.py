@@ -1,0 +1,59 @@
+"""Classical-ML substrate: trees, forests, boosting, neural classifiers,
+mixtures, ICA, preprocessing, metrics and splits (replaces scikit-learn /
+XGBoost, unavailable offline)."""
+
+from repro.ml.gmm import GaussianMixture, split_domains_by_gmm
+from repro.ml.gradient_boosting import GradientBoostingClassifier
+from repro.ml.ica import FastICA
+from repro.ml.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    macro_f1,
+    precision_recall_f1,
+)
+from repro.ml.mlp import MLPClassifier
+from repro.ml.model_selection import (
+    cross_val_f1,
+    sample_few_shot,
+    stratified_kfold_indices,
+    train_test_split,
+)
+from repro.ml.preprocessing import (
+    LabelEncoder,
+    MinMaxScaler,
+    OneHotEncoder,
+    StandardScaler,
+    one_hot,
+)
+from repro.ml.random_forest import RandomForestClassifier
+from repro.ml.tabnet import TNetClassifier
+from repro.ml.tree import DecisionTreeClassifier, RegressionTree
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "FastICA",
+    "GaussianMixture",
+    "GradientBoostingClassifier",
+    "LabelEncoder",
+    "MLPClassifier",
+    "MinMaxScaler",
+    "OneHotEncoder",
+    "RandomForestClassifier",
+    "RegressionTree",
+    "StandardScaler",
+    "TNetClassifier",
+    "accuracy_score",
+    "classification_report",
+    "confusion_matrix",
+    "cross_val_f1",
+    "f1_score",
+    "macro_f1",
+    "one_hot",
+    "precision_recall_f1",
+    "sample_few_shot",
+    "split_domains_by_gmm",
+    "stratified_kfold_indices",
+    "train_test_split",
+]

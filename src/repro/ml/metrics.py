@@ -1,0 +1,121 @@
+"""Classification metrics: F1 (macro/micro/binary), accuracy, confusion matrix.
+
+Table I of the paper reports macro F1-scores (scaled to [0, 100]); helpers
+here return fractions in [0, 1] and the experiment layer scales for display.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+
+def _check_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.ndim != 1 or y_pred.ndim != 1:
+        raise ValidationError("y_true and y_pred must be 1-dimensional")
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise ValidationError(
+            f"length mismatch: {y_true.shape[0]} vs {y_pred.shape[0]}"
+        )
+    if y_true.shape[0] == 0:
+        raise ValidationError("metrics require at least one sample")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly matching predictions."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, *, labels=None) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count of true label i predicted as j."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels)}
+    n = len(labels)
+    cm = np.zeros((n, n), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        if t in index and p in index:
+            cm[index[t], index[p]] += 1
+    return cm
+
+
+def precision_recall_f1(
+    y_true, y_pred, *, labels=None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class precision, recall and F1 arrays (zero where undefined)."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    cm = confusion_matrix(y_true, y_pred, labels=labels)
+    tp = np.diag(cm).astype(np.float64)
+    pred_total = cm.sum(axis=0).astype(np.float64)
+    true_total = cm.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(pred_total > 0, tp / pred_total, 0.0)
+        recall = np.where(true_total > 0, tp / true_total, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / np.where(denom > 0, denom, 1.0), 0.0)
+    return precision, recall, f1
+
+
+def f1_score(y_true, y_pred, *, average: str = "macro", labels=None) -> float:
+    """F1 score with ``macro``, ``micro``, ``weighted`` or ``binary`` averaging."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    if average == "micro":
+        return accuracy_score(y_true, y_pred)
+    precision, recall, f1 = precision_recall_f1(y_true, y_pred, labels=labels)
+    if average == "macro":
+        return float(f1.mean())
+    if average == "weighted":
+        counts = np.array([(y_true == label).sum() for label in labels], dtype=np.float64)
+        total = counts.sum()
+        if total == 0:
+            return 0.0
+        return float(np.sum(f1 * counts) / total)
+    if average == "binary":
+        labels = np.asarray(labels)
+        if len(labels) > 2:
+            raise ValidationError("binary average requires at most two classes")
+        # positive class is the largest label (1 in {0, 1})
+        pos_index = int(np.argmax(labels))
+        return float(f1[pos_index])
+    raise ValidationError(f"unknown average {average!r}")
+
+
+def macro_f1(y_true, y_pred) -> float:
+    """Shorthand for macro-averaged F1 as used in Table I."""
+    return f1_score(y_true, y_pred, average="macro")
+
+
+def classification_report(y_true, y_pred, *, labels=None, target_names=None) -> str:
+    """Human-readable per-class precision/recall/F1 table."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    precision, recall, f1 = precision_recall_f1(y_true, y_pred, labels=labels)
+    if target_names is None:
+        target_names = [str(label) for label in labels]
+    if len(target_names) != len(labels):
+        raise ValidationError("target_names length must match number of labels")
+    width = max(12, max(len(name) for name in target_names) + 2)
+    lines = [f"{'class':<{width}}{'precision':>10}{'recall':>10}{'f1':>10}{'support':>10}"]
+    for i, name in enumerate(target_names):
+        support = int((y_true == labels[i]).sum())
+        lines.append(
+            f"{name:<{width}}{precision[i]:>10.3f}{recall[i]:>10.3f}{f1[i]:>10.3f}{support:>10d}"
+        )
+    lines.append(
+        f"{'macro avg':<{width}}{precision.mean():>10.3f}{recall.mean():>10.3f}{f1.mean():>10.3f}"
+        f"{len(y_true):>10d}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Random forest classifier (bagged CART trees with feature subsampling).
+
+One of the four downstream network-management models of Table I ("RF").
+Supports per-sample weights via weighted bootstrap, which the S&T baseline
+uses to up-weight the few target-domain samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeClassifier
+from repro.utils.errors import ValidationError
+from repro.utils.validation import (
+    check_array,
+    check_consistent_features,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated decision trees with sqrt-feature split sampling."""
+
+    def __init__(
+        self,
+        *,
+        n_estimators: int = 50,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        bootstrap: bool = True,
+        random_state=None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValidationError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.trees_: list[DecisionTreeClassifier] | None = None
+        self.classes_: np.ndarray | None = None
+        self.n_features_: int | None = None
+
+    def fit(self, X, y, sample_weight=None) -> "RandomForestClassifier":
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        self.n_features_ = X.shape[1]
+        rng = check_random_state(self.random_state)
+        n = X.shape[0]
+        if sample_weight is not None:
+            sample_weight = np.asarray(sample_weight, dtype=np.float64)
+            if sample_weight.shape != (n,):
+                raise ValidationError("sample_weight must match the number of samples")
+            if np.any(sample_weight < 0) or sample_weight.sum() <= 0:
+                raise ValidationError("sample_weight must be non-negative with positive sum")
+            probs = sample_weight / sample_weight.sum()
+        else:
+            probs = None
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            if self.bootstrap:
+                idx = rng.choice(n, size=n, replace=True, p=probs)
+            else:
+                idx = np.arange(n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "trees_")
+        X = check_array(X)
+        check_consistent_features(X, self.n_features_)
+        total = np.zeros((X.shape[0], len(self.classes_)))
+        class_index = {label: i for i, label in enumerate(self.classes_)}
+        for tree in self.trees_:
+            proba = tree.predict_proba(X)
+            # trees may have seen a subset of classes on a small bootstrap
+            for j, label in enumerate(tree.classes_):
+                total[:, class_index[label]] += proba[:, j]
+        return total / len(self.trees_)
+
+    def predict(self, X) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

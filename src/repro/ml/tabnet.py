@@ -1,0 +1,211 @@
+"""TNet: a tabular-specialized neural classifier.
+
+Stand-in for TabularNet (Du et al., KDD 2021), the paper's best-performing
+downstream model.  The architecture adds two tabular-specific ingredients to
+a plain MLP:
+
+- a learned **feature gate** (sigmoid-activated per-feature scaling) acting
+  as soft feature selection — the light-weight analogue of TabularNet's
+  semantic feature attention, well-suited to wide telemetry tables where many
+  columns are redundant; and
+- **residual dense blocks** with batch normalization, which stabilize
+  optimization on heterogeneous feature scales.
+
+TNet consistently edging out MLP/RF/XGB (as in Table I) is reproduced by the
+gate suppressing noisy columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import one_hot
+from repro.nn.layers import BatchNorm1d, Dense, Dropout, Layer, ReLU
+from repro.nn.losses import SoftmaxCrossEntropy, softmax
+from repro.nn.network import Sequential, iterate_minibatches
+from repro.nn.optimizers import Adam
+from repro.utils.errors import ValidationError
+from repro.utils.validation import (
+    check_array,
+    check_consistent_features,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+
+
+class FeatureGate(Layer):
+    """Elementwise ``x * sigmoid(g)`` with a learned per-feature logit ``g``.
+
+    Initialized at ``g = 2`` (gate ≈ 0.88) so training starts close to the
+    identity and learns to *close* gates on uninformative features.
+    """
+
+    def __init__(self, n_features: int) -> None:
+        super().__init__()
+        if n_features <= 0:
+            raise ValidationError("n_features must be positive")
+        self.params = {"g": np.full(n_features, 2.0)}
+        self.grads = {"g": np.zeros(n_features)}
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._x = x
+        self._gate = 1.0 / (1.0 + np.exp(-self.params["g"]))
+        return x * self._gate
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        dgate = (grad_output * self._x).sum(axis=0)
+        self.grads["g"] = dgate * self._gate * (1.0 - self._gate)
+        return grad_output * self._gate
+
+    def gate_values(self) -> np.ndarray:
+        """Current sigmoid gate per feature — interpretable feature importance."""
+        return 1.0 / (1.0 + np.exp(-self.params["g"]))
+
+
+class ResidualBlock(Layer):
+    """``x + Dropout(ReLU(BN(Dense(x))))`` with matching width."""
+
+    def __init__(self, width: int, *, dropout: float, random_state=None) -> None:
+        super().__init__()
+        rng = check_random_state(random_state)
+        self.inner = Sequential(
+            [
+                Dense(width, width, random_state=int(rng.integers(0, 2**31 - 1))),
+                BatchNorm1d(width),
+                ReLU(),
+                Dropout(dropout, random_state=int(rng.integers(0, 2**31 - 1))),
+            ]
+        )
+
+    @property
+    def params(self):  # type: ignore[override]
+        return {}
+
+    @params.setter
+    def params(self, value) -> None:
+        pass
+
+    def trainable_layers(self):
+        return self.inner.trainable_layers()
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return x + self.inner.forward(x, training=training)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output + self.inner.backward(grad_output)
+
+
+class _TNetSequential(Sequential):
+    """Sequential that knows how to flatten ResidualBlock parameters."""
+
+    def trainable_layers(self):
+        found = []
+        for layer in self.layers:
+            if isinstance(layer, ResidualBlock):
+                found.extend(layer.trainable_layers())
+            elif isinstance(layer, Sequential):
+                found.extend(layer.trainable_layers())
+            elif layer.params:
+                found.append(layer)
+        return found
+
+
+class TNetClassifier:
+    """Tabular network: feature gate → projection → residual blocks → softmax."""
+
+    def __init__(
+        self,
+        *,
+        width: int = 128,
+        n_blocks: int = 2,
+        epochs: int = 60,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        weight_decay: float = 1e-5,
+        dropout: float = 0.1,
+        random_state=None,
+    ) -> None:
+        if width < 1 or n_blocks < 1:
+            raise ValidationError("width and n_blocks must be >= 1")
+        self.width = width
+        self.n_blocks = n_blocks
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.dropout = dropout
+        self.random_state = random_state
+        self.network_: _TNetSequential | None = None
+        self.classes_: np.ndarray | None = None
+        self.n_features_: int | None = None
+        self.loss_curve_: list[float] = []
+
+    def _build(self, n_features: int, n_classes: int, rng: np.random.Generator):
+        layers: list[Layer] = [FeatureGate(n_features)]
+        layers.append(Dense(n_features, self.width,
+                            random_state=int(rng.integers(0, 2**31 - 1))))
+        layers.append(BatchNorm1d(self.width))
+        layers.append(ReLU())
+        for _ in range(self.n_blocks):
+            layers.append(
+                ResidualBlock(self.width, dropout=self.dropout,
+                              random_state=int(rng.integers(0, 2**31 - 1)))
+            )
+        layers.append(Dense(self.width, n_classes, init="glorot_uniform",
+                            random_state=int(rng.integers(0, 2**31 - 1))))
+        return _TNetSequential(layers)
+
+    def fit(self, X, y, sample_weight=None) -> "TNetClassifier":
+        X, y = check_X_y(X, y)
+        self.classes_, y_codes = np.unique(y, return_inverse=True)
+        self.n_features_ = X.shape[1]
+        rng = check_random_state(self.random_state)
+        self.network_ = self._build(self.n_features_, len(self.classes_), rng)
+        targets = one_hot(y_codes, len(self.classes_))
+        if sample_weight is not None:
+            w = np.asarray(sample_weight, dtype=np.float64)
+            if w.shape != (X.shape[0],):
+                raise ValidationError("sample_weight must match the number of samples")
+            w = w * X.shape[0] / w.sum()
+        else:
+            w = None
+        loss_fn = SoftmaxCrossEntropy()
+        optimizer = Adam(self.network_.trainable_layers(), lr=self.lr,
+                         weight_decay=self.weight_decay)
+        batch = min(self.batch_size, X.shape[0])
+        self.loss_curve_ = []
+        for _ in range(self.epochs):
+            epoch_loss, n_batches = 0.0, 0
+            for idx in iterate_minibatches(X.shape[0], batch, rng):
+                logits = self.network_.forward(X[idx], training=True)
+                epoch_loss += loss_fn.forward(logits, targets[idx])
+                grad = loss_fn.backward()
+                if w is not None:
+                    grad = grad * w[idx][:, None]
+                self.network_.backward(grad)
+                optimizer.step()
+                optimizer.zero_grad()
+                n_batches += 1
+            self.loss_curve_.append(epoch_loss / max(1, n_batches))
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Raw logits."""
+        check_is_fitted(self, "network_")
+        X = check_array(X)
+        check_consistent_features(X, self.n_features_)
+        return self.network_.forward(X, training=False)
+
+    def predict_proba(self, X) -> np.ndarray:
+        return softmax(self.decision_function(X), axis=1)
+
+    def predict(self, X) -> np.ndarray:
+        return self.classes_[np.argmax(self.decision_function(X), axis=1)]
+
+    def feature_importances(self) -> np.ndarray:
+        """The learned feature-gate values (soft feature-selection weights)."""
+        check_is_fitted(self, "network_")
+        gate = self.network_.layers[0]
+        assert isinstance(gate, FeatureGate)
+        return gate.gate_values()

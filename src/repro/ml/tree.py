@@ -1,0 +1,316 @@
+"""Decision trees: a CART classifier and a second-order regression tree.
+
+The classifier backs :class:`~repro.ml.random_forest.RandomForestClassifier`;
+the regression tree (fit on gradient/hessian pairs, XGBoost-style) backs
+:class:`~repro.ml.gradient_boosting.GradientBoostingClassifier`.  Split search
+is vectorized per feature with cumulative class counts / gradient sums, so the
+trees stay usable on the 442-feature 5GC workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.validation import (
+    check_array,
+    check_consistent_features,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry ``value`` and internal nodes a split."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    value: np.ndarray | float | None = None
+    n_samples: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _resolve_max_features(max_features, n_features: int) -> int:
+    """Translate 'sqrt' / 'log2' / int / float / None into a column count."""
+    if max_features is None:
+        return n_features
+    if max_features == "sqrt":
+        return max(1, int(np.sqrt(n_features)))
+    if max_features == "log2":
+        return max(1, int(np.log2(n_features)))
+    if isinstance(max_features, (int, np.integer)):
+        if max_features < 1:
+            raise ValidationError("integer max_features must be >= 1")
+        return min(int(max_features), n_features)
+    if isinstance(max_features, float):
+        if not 0.0 < max_features <= 1.0:
+            raise ValidationError("float max_features must be in (0, 1]")
+        return max(1, int(max_features * n_features))
+    raise ValidationError(f"unsupported max_features: {max_features!r}")
+
+
+def _best_classification_split(
+    X: np.ndarray,
+    y_onehot: np.ndarray,
+    feature_ids: np.ndarray,
+    min_samples_leaf: int,
+) -> tuple[int, float, float]:
+    """Best (feature, threshold, gini_decrease) among candidate features.
+
+    Uses cumulative class counts over each feature's sort order; returns
+    ``feature=-1`` when no valid split exists.
+    """
+    n, k = y_onehot.shape
+    total = y_onehot.sum(axis=0)
+    parent_gini = 1.0 - np.sum((total / n) ** 2)
+    best = (-1, 0.0, 0.0)
+    for j in feature_ids:
+        col = X[:, j]
+        order = np.argsort(col, kind="stable")
+        sorted_col = col[order]
+        cum = np.cumsum(y_onehot[order], axis=0)  # (n, k)
+        left_n = np.arange(1, n + 1, dtype=np.float64)
+        # valid split after position i (1-based count i+1 on the left)
+        distinct = sorted_col[:-1] < sorted_col[1:]
+        if not np.any(distinct):
+            continue
+        ln = left_n[:-1]
+        rn = n - ln
+        size_ok = (ln >= min_samples_leaf) & (rn >= min_samples_leaf)
+        valid = distinct & size_ok
+        if not np.any(valid):
+            continue
+        left_counts = cum[:-1]
+        right_counts = total[None, :] - left_counts
+        with np.errstate(divide="ignore", invalid="ignore"):
+            gini_left = 1.0 - np.sum((left_counts / ln[:, None]) ** 2, axis=1)
+            gini_right = 1.0 - np.sum((right_counts / rn[:, None]) ** 2, axis=1)
+        weighted = (ln * gini_left + rn * gini_right) / n
+        weighted[~valid] = np.inf
+        pos = int(np.argmin(weighted))
+        decrease = parent_gini - weighted[pos]
+        if decrease > best[2] + 1e-12:
+            threshold = 0.5 * (sorted_col[pos] + sorted_col[pos + 1])
+            best = (int(j), float(threshold), float(decrease))
+    return best
+
+
+def _best_regression_split(
+    X: np.ndarray,
+    g: np.ndarray,
+    h: np.ndarray,
+    feature_ids: np.ndarray,
+    min_samples_leaf: int,
+    reg_lambda: float,
+) -> tuple[int, float, float]:
+    """Best split maximizing the XGBoost gain for gradient/hessian targets."""
+    n = X.shape[0]
+    G, H = g.sum(), h.sum()
+    parent_score = G * G / (H + reg_lambda)
+    best = (-1, 0.0, 0.0)
+    for j in feature_ids:
+        col = X[:, j]
+        order = np.argsort(col, kind="stable")
+        sorted_col = col[order]
+        gl = np.cumsum(g[order])[:-1]
+        hl = np.cumsum(h[order])[:-1]
+        gr = G - gl
+        hr = H - hl
+        ln = np.arange(1, n, dtype=np.float64)
+        rn = n - ln
+        distinct = sorted_col[:-1] < sorted_col[1:]
+        valid = distinct & (ln >= min_samples_leaf) & (rn >= min_samples_leaf)
+        if not np.any(valid):
+            continue
+        gain = gl * gl / (hl + reg_lambda) + gr * gr / (hr + reg_lambda) - parent_score
+        gain[~valid] = -np.inf
+        pos = int(np.argmax(gain))
+        if gain[pos] > best[2] + 1e-12:
+            threshold = 0.5 * (sorted_col[pos] + sorted_col[pos + 1])
+            best = (int(j), float(threshold), float(gain[pos]))
+    return best
+
+
+class DecisionTreeClassifier:
+    """CART classifier with Gini impurity.
+
+    Parameters mirror the common scikit-learn surface (``max_depth``,
+    ``min_samples_split``, ``min_samples_leaf``, ``max_features``); the tree
+    predicts class probabilities from leaf class frequencies.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        random_state=None,
+    ) -> None:
+        if min_samples_split < 2:
+            raise ValidationError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValidationError("min_samples_leaf must be >= 1")
+        if max_depth is not None and max_depth < 1:
+            raise ValidationError("max_depth must be >= 1 or None")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.root_: _Node | None = None
+        self.classes_: np.ndarray | None = None
+        self.n_features_: int | None = None
+
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        X, y = check_X_y(X, y)
+        self.classes_, y_codes = np.unique(y, return_inverse=True)
+        self.n_features_ = X.shape[1]
+        k = len(self.classes_)
+        y_onehot = np.zeros((X.shape[0], k))
+        y_onehot[np.arange(X.shape[0]), y_codes] = 1.0
+        rng = check_random_state(self.random_state)
+        self._n_candidates = _resolve_max_features(self.max_features, self.n_features_)
+        self.root_ = self._grow(X, y_onehot, depth=0, rng=rng)
+        return self
+
+    def _grow(self, X: np.ndarray, y_onehot: np.ndarray, depth: int,
+              rng: np.random.Generator) -> _Node:
+        n = X.shape[0]
+        counts = y_onehot.sum(axis=0)
+        node = _Node(value=counts / n, n_samples=n)
+        if (
+            n < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.count_nonzero(counts) <= 1
+        ):
+            return node
+        feature_ids = rng.choice(self.n_features_, size=self._n_candidates, replace=False)
+        feature, threshold, decrease = _best_classification_split(
+            X, y_onehot, feature_ids, self.min_samples_leaf
+        )
+        if feature < 0 or decrease <= 0.0:
+            return node
+        mask = X[:, feature] <= threshold
+        node.feature, node.threshold = feature, threshold
+        node.left = self._grow(X[mask], y_onehot[mask], depth + 1, rng)
+        node.right = self._grow(X[~mask], y_onehot[~mask], depth + 1, rng)
+        return node
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "root_")
+        X = check_array(X)
+        check_consistent_features(X, self.n_features_)
+        out = np.empty((X.shape[0], len(self.classes_)))
+        for i, row in enumerate(X):
+            node = self.root_
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    def predict(self, X) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+
+    def depth(self) -> int:
+        """Depth of the fitted tree (0 for a single leaf)."""
+        check_is_fitted(self, "root_")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root_)
+
+    def n_leaves(self) -> int:
+        """Number of leaves of the fitted tree."""
+        check_is_fitted(self, "root_")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self.root_)
+
+
+class RegressionTree:
+    """Second-order regression tree fit on (gradient, hessian) targets.
+
+    Leaf values are the Newton step ``-G / (H + lambda)``; used as the weak
+    learner inside gradient boosting.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        reg_lambda: float = 1.0,
+        max_features=None,
+        random_state=None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValidationError("max_depth must be >= 1")
+        if reg_lambda < 0:
+            raise ValidationError("reg_lambda must be non-negative")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.reg_lambda = reg_lambda
+        self.max_features = max_features
+        self.random_state = random_state
+        self.root_: _Node | None = None
+        self.n_features_: int | None = None
+
+    def fit(self, X, g, h) -> "RegressionTree":
+        X = check_array(X)
+        g = np.asarray(g, dtype=np.float64)
+        h = np.asarray(h, dtype=np.float64)
+        if g.shape != (X.shape[0],) or h.shape != (X.shape[0],):
+            raise ValidationError("g and h must be 1-D arrays matching X rows")
+        self.n_features_ = X.shape[1]
+        self._n_candidates = _resolve_max_features(self.max_features, self.n_features_)
+        rng = check_random_state(self.random_state)
+        self.root_ = self._grow(X, g, h, depth=0, rng=rng)
+        return self
+
+    def _grow(self, X, g, h, depth: int, rng: np.random.Generator) -> _Node:
+        node = _Node(
+            value=float(-g.sum() / (h.sum() + self.reg_lambda)), n_samples=X.shape[0]
+        )
+        if depth >= self.max_depth or X.shape[0] < 2 * self.min_samples_leaf:
+            return node
+        feature_ids = rng.choice(self.n_features_, size=self._n_candidates, replace=False)
+        feature, threshold, gain = _best_regression_split(
+            X, g, h, feature_ids, self.min_samples_leaf, self.reg_lambda
+        )
+        if feature < 0 or gain <= 0.0:
+            return node
+        mask = X[:, feature] <= threshold
+        node.feature, node.threshold = feature, threshold
+        node.left = self._grow(X[mask], g[mask], h[mask], depth + 1, rng)
+        node.right = self._grow(X[~mask], g[~mask], h[~mask], depth + 1, rng)
+        return node
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, "root_")
+        X = check_array(X)
+        check_consistent_features(X, self.n_features_)
+        out = np.empty(X.shape[0])
+        for i, row in enumerate(X):
+            node = self.root_
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out

@@ -1,0 +1,64 @@
+"""From-scratch numpy neural-network substrate (replaces PyTorch offline).
+
+Provides dense layers, batch norm, dropout, activations, a gradient-reversal
+layer (for DANN), losses, SGD/Adam optimizers, and a Sequential container with
+explicit backpropagation.  All of the paper's neural components — the
+conditional GAN, the MLP/TNet classifiers, DANN, SCL, MatchNet and ProtoNet —
+are built on this package.
+"""
+
+from repro.nn.initializers import get_initializer, glorot_uniform, he_normal, zeros
+from repro.nn.layers import (
+    BatchNorm1d,
+    BlockActivation,
+    Concat,
+    Dense,
+    Dropout,
+    GradientReversal,
+    GumbelSoftmax,
+    Layer,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import (
+    BinaryCrossEntropy,
+    Loss,
+    MSELoss,
+    SoftmaxCrossEntropy,
+    softmax,
+    supervised_contrastive_loss,
+)
+from repro.nn.network import Sequential, iterate_minibatches
+from repro.nn.optimizers import SGD, Adam, Optimizer
+
+__all__ = [
+    "Adam",
+    "BatchNorm1d",
+    "BinaryCrossEntropy",
+    "BlockActivation",
+    "Concat",
+    "Dense",
+    "Dropout",
+    "GradientReversal",
+    "GumbelSoftmax",
+    "Layer",
+    "LeakyReLU",
+    "Loss",
+    "MSELoss",
+    "Optimizer",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "SoftmaxCrossEntropy",
+    "Tanh",
+    "get_initializer",
+    "glorot_uniform",
+    "he_normal",
+    "iterate_minibatches",
+    "softmax",
+    "supervised_contrastive_loss",
+    "zeros",
+]

@@ -1,0 +1,41 @@
+"""Weight initializers for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialization, suited to tanh/sigmoid layers."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValidationError(f"fan_in and fan_out must be positive, got {fan_in}, {fan_out}")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He normal initialization, suited to ReLU-family layers."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValidationError(f"fan_in and fan_out must be positive, got {fan_in}, {fan_out}")
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zero initialization (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+_INITIALIZERS = {"glorot_uniform": glorot_uniform, "he_normal": he_normal}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name; raises on unknown names."""
+    try:
+        return _INITIALIZERS[name]
+    except KeyError:
+        raise ValidationError(
+            f"Unknown initializer {name!r}; available: {sorted(_INITIALIZERS)}"
+        ) from None

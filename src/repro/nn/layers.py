@@ -1,0 +1,310 @@
+"""Layers for the numpy neural-network substrate.
+
+Every layer implements the explicit-backprop protocol:
+
+- ``forward(x, training)`` caches whatever it needs and returns the output;
+- ``backward(grad_output)`` returns the gradient w.r.t. the input and stores
+  parameter gradients in ``layer.grads`` (same keys as ``layer.params``).
+
+Shapes are ``(batch, features)`` throughout.  This substrate replaces PyTorch
+(unavailable offline) for all the paper's neural components.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import get_initializer, zeros
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_random_state
+
+
+class Layer:
+    """Base class: a differentiable module with optional parameters."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        init: str = "he_normal",
+        random_state=None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValidationError(
+                f"Dense dimensions must be positive, got ({in_features}, {out_features})"
+            )
+        rng = check_random_state(random_state)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.params = {
+            "W": get_initializer(init)(rng, in_features, out_features),
+            "b": zeros(out_features),
+        }
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.shape[1] != self.in_features:
+            raise ValidationError(
+                f"Dense expected {self.in_features} input features, got {x.shape[1]}"
+            )
+        self._x = x
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x = self._x
+        self.grads["W"] = x.T @ grad_output
+        self.grads["b"] = grad_output.sum(axis=0)
+        return grad_output @ self.params["W"].T
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU with configurable negative slope (CTGAN discriminator uses 0.2)."""
+
+    def __init__(self, negative_slope: float = 0.2) -> None:
+        super().__init__()
+        if negative_slope < 0:
+            raise ValidationError("negative_slope must be non-negative")
+        self.negative_slope = negative_slope
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad_output, self.negative_slope * grad_output)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent (generator output for continuous columns)."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * (1.0 - self._out**2)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid (discriminator output)."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._out = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * self._out * (1.0 - self._out)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float = 0.5, *, random_state=None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValidationError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = check_random_state(random_state)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class BatchNorm1d(Layer):
+    """Batch normalization over the batch axis with learned scale/shift.
+
+    Keeps running statistics for inference, as in the CTGAN generator blocks.
+    """
+
+    def __init__(self, num_features: int, *, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValidationError("num_features must be positive")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.params = {"gamma": np.ones(num_features), "beta": np.zeros(num_features)}
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.shape[1] != self.num_features:
+            raise ValidationError(
+                f"BatchNorm1d expected {self.num_features} features, got {x.shape[1]}"
+            )
+        if training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        self._std = np.sqrt(var + self.eps)
+        self._x_hat = (x - mean) / self._std
+        self._training = training
+        return self.params["gamma"] * self._x_hat + self.params["beta"]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x_hat, std = self._x_hat, self._std
+        self.grads["gamma"] = (grad_output * x_hat).sum(axis=0)
+        self.grads["beta"] = grad_output.sum(axis=0)
+        g = grad_output * self.params["gamma"]
+        if not self._training:
+            return g / std
+        n = grad_output.shape[0]
+        return (g - g.mean(axis=0) - x_hat * (g * x_hat).mean(axis=0)) / std
+
+
+class GradientReversal(Layer):
+    """Identity forward; multiplies gradients by ``-lambda`` on the way back.
+
+    The core trick of DANN (Ganin & Lempitsky 2015): the feature extractor is
+    trained to *confuse* the domain classifier attached after this layer.
+    """
+
+    def __init__(self, lambda_: float = 1.0) -> None:
+        super().__init__()
+        self.lambda_ = lambda_
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return -self.lambda_ * grad_output
+
+
+class Concat(Layer):
+    """Concatenates a fixed conditioning block to the input along features.
+
+    Used by the conditional GAN so the whole generator can stay a single
+    :class:`~repro.nn.network.Sequential` even when intermediate layers need
+    the conditioning vector re-appended (CTGAN-style skip of conditions).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.condition: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if self.condition is None:
+            raise ValidationError("Concat.condition must be set before forward()")
+        self._split = x.shape[1]
+        return np.concatenate([x, self.condition], axis=1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output[:, : self._split]
+
+
+class GumbelSoftmax(Layer):
+    """Gumbel-softmax head for discrete one-hot blocks (Jang et al. 2017).
+
+    During training, Gumbel noise is added to the logits before a
+    temperature-scaled softmax, giving differentiable almost-one-hot
+    samples; at inference the plain tempered softmax is returned.  Used by
+    the CTGAN-style generator for discrete columns (paper §V-C3).
+    """
+
+    def __init__(self, temperature: float = 0.5, *, random_state=None) -> None:
+        super().__init__()
+        if temperature <= 0:
+            raise ValidationError("temperature must be positive")
+        self.temperature = temperature
+        self._rng = check_random_state(random_state)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            uniform = np.clip(self._rng.random(x.shape), 1e-12, 1.0 - 1e-12)
+            x = x + (-np.log(-np.log(uniform)))
+        z = (x - x.max(axis=1, keepdims=True)) / self.temperature
+        e = np.exp(z)
+        self._out = e / e.sum(axis=1, keepdims=True)
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        s = self._out
+        dot = np.sum(grad_output * s, axis=1, keepdims=True)
+        return s * (grad_output - dot) / self.temperature
+
+
+class BlockActivation(Layer):
+    """Applies a different activation to each contiguous slice of the input.
+
+    ``blocks`` is a list of ``(width, layer)`` pairs covering the full input
+    width — e.g. tanh heads for continuous scalars interleaved with
+    Gumbel-softmax heads for one-hot indicator blocks, matching a
+    :class:`repro.gan.transformer.TabularTransformer` layout.
+    """
+
+    def __init__(self, blocks) -> None:
+        super().__init__()
+        if not blocks:
+            raise ValidationError("BlockActivation requires at least one block")
+        self.blocks = list(blocks)
+        self._slices = []
+        pos = 0
+        for width, _layer in self.blocks:
+            if width < 1:
+                raise ValidationError("block widths must be >= 1")
+            self._slices.append((pos, pos + width))
+            pos += width
+        self.total_width = pos
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.shape[1] != self.total_width:
+            raise ValidationError(
+                f"BlockActivation expected {self.total_width} features, "
+                f"got {x.shape[1]}"
+            )
+        out = np.empty_like(x)
+        for (a, b), (_w, layer) in zip(self._slices, self.blocks):
+            out[:, a:b] = layer.forward(x[:, a:b], training=training)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = np.empty_like(grad_output)
+        for (a, b), (_w, layer) in zip(self._slices, self.blocks):
+            grad[:, a:b] = layer.backward(grad_output[:, a:b])
+        return grad

@@ -1,0 +1,160 @@
+"""Loss functions for the numpy neural-network substrate.
+
+Each loss exposes ``forward(prediction, target) -> float`` and
+``backward() -> np.ndarray`` returning the gradient w.r.t. the prediction,
+already divided by the batch size so optimizers see mean gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+_EPS = 1e-12
+
+
+class Loss:
+    """Base class for losses."""
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(prediction, target)
+
+
+class MSELoss(Loss):
+    """Mean squared error over all elements."""
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        if prediction.shape != target.shape:
+            raise ValidationError(
+                f"MSE shapes differ: {prediction.shape} vs {target.shape}"
+            )
+        self._diff = prediction - target
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        return 2.0 * self._diff / self._diff.size
+
+
+class BinaryCrossEntropy(Loss):
+    """BCE on probabilities in (0, 1), as produced by a sigmoid output layer.
+
+    Matches the discriminator objective of Eq. (8) in the paper and the
+    non-saturating generator objective of Eq. (9) when the target is all-ones.
+    """
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        if prediction.shape != target.shape:
+            raise ValidationError(
+                f"BCE shapes differ: {prediction.shape} vs {target.shape}"
+            )
+        p = np.clip(prediction, _EPS, 1.0 - _EPS)
+        self._p, self._t = p, target
+        return float(-np.mean(target * np.log(p) + (1.0 - target) * np.log(1.0 - p)))
+
+    def backward(self) -> np.ndarray:
+        p, t = self._p, self._t
+        return ((p - t) / (p * (1.0 - p))) / p.size
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax + cross-entropy on logits, targets as one-hot rows.
+
+    ``backward`` returns the well-known ``(softmax - onehot) / batch`` form,
+    keeping the classifier's output layer linear (no separate softmax layer).
+    """
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        if prediction.shape != target.shape:
+            raise ValidationError(
+                f"Cross-entropy shapes differ: {prediction.shape} vs {target.shape}"
+            )
+        z = prediction - prediction.max(axis=1, keepdims=True)
+        exp = np.exp(z)
+        self._probs = exp / exp.sum(axis=1, keepdims=True)
+        self._t = target
+        logp = z - np.log(exp.sum(axis=1, keepdims=True))
+        return float(-np.mean(np.sum(target * logp, axis=1)))
+
+    def backward(self) -> np.ndarray:
+        return (self._probs - self._t) / self._t.shape[0]
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Softmax probabilities from the most recent forward pass."""
+        return self._probs
+
+
+def softmax(z: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    z = z - z.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def supervised_contrastive_loss(
+    embeddings: np.ndarray, labels: np.ndarray, *, temperature: float = 0.1
+) -> tuple[float, np.ndarray]:
+    """Supervised contrastive loss (Khosla et al. 2020) with analytic gradient.
+
+    Used by the SCL baseline.  Embeddings are L2-normalized internally; the
+    returned gradient is w.r.t. the *raw* embeddings, chaining through the
+    normalization.
+
+    Returns
+    -------
+    (loss, grad):
+        Scalar loss and gradient array shaped like ``embeddings``.
+    """
+    if embeddings.ndim != 2:
+        raise ValidationError("embeddings must be 2-D")
+    n = embeddings.shape[0]
+    if n != labels.shape[0]:
+        raise ValidationError("embeddings and labels length mismatch")
+    norms = np.linalg.norm(embeddings, axis=1, keepdims=True) + _EPS
+    z = embeddings / norms
+
+    sim = z @ z.T / temperature
+    np.fill_diagonal(sim, -np.inf)
+    # log-softmax over each row excluding self
+    row_max = sim.max(axis=1, keepdims=True)
+    exp = np.exp(sim - row_max)
+    denom = exp.sum(axis=1, keepdims=True)
+    log_prob = sim - row_max - np.log(denom + _EPS)
+    prob = exp / (denom + _EPS)
+
+    same = labels[:, None] == labels[None, :]
+    np.fill_diagonal(same, False)
+    pos_counts = same.sum(axis=1)
+    valid = pos_counts > 0
+    if not np.any(valid):
+        return 0.0, np.zeros_like(embeddings)
+
+    loss = 0.0
+    grad_z = np.zeros_like(z)
+    # dL/d sim[i, j] accumulated, then chained to z.
+    dsim = np.zeros((n, n))
+    for i in np.where(valid)[0]:
+        pos = np.where(same[i])[0]
+        loss -= log_prob[i, pos].mean()
+        # d(-mean_p log_prob[i,p]) / d sim[i,j] = prob[i,j] - 1{j in pos}/|pos|
+        dsim[i] += prob[i]
+        dsim[i, pos] -= 1.0 / len(pos)
+    loss /= valid.sum()
+    dsim /= valid.sum()
+    dsim[~np.isfinite(dsim)] = 0.0
+
+    # sim = z z^T / T  (diagonal excluded; dsim diagonal already ~0)
+    np.fill_diagonal(dsim, 0.0)
+    grad_z = (dsim @ z + dsim.T @ z) / temperature
+
+    # chain through z = e / ||e||
+    dot = np.sum(grad_z * z, axis=1, keepdims=True)
+    grad_e = (grad_z - z * dot) / norms
+    return float(loss), grad_e

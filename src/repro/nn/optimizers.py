@@ -1,0 +1,101 @@
+"""Optimizers for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+
+class Optimizer:
+    """Base optimizer operating on a list of layers with params/grads dicts."""
+
+    def __init__(self, layers, *, lr: float, weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValidationError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValidationError("weight_decay must be non-negative")
+        self.layers = [layer for layer in layers if layer.params]
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Reset all parameter gradients to zero."""
+        for layer in self.layers:
+            for key in layer.grads:
+                layer.grads[key][...] = 0.0
+
+    def _iter_params(self):
+        for li, layer in enumerate(self.layers):
+            for key in layer.params:
+                yield (li, key), layer.params[key], layer.grads[key]
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, layers, *, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(layers, lr=lr, weight_decay=weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValidationError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: dict = {}
+
+    def step(self) -> None:
+        for key, param, grad in self._iter_params():
+            g = grad
+            if self.weight_decay:
+                g = g + self.weight_decay * param
+            if self.momentum:
+                v = self._velocity.get(key)
+                if v is None:
+                    v = np.zeros_like(param)
+                v = self.momentum * v - self.lr * g
+                self._velocity[key] = v
+                param += v
+            else:
+                param -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba 2015) with decoupled weight decay.
+
+    The paper trains generator and discriminator with lr 2e-4 and a decay of
+    1e-6; we map that decay onto ``weight_decay``.
+    """
+
+    def __init__(self, layers, *, lr: float = 2e-4, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(layers, lr=lr, weight_decay=weight_decay)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValidationError("betas must be in [0, 1)")
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m: dict = {}
+        self._v: dict = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for key, param, grad in self._iter_params():
+            m = self._m.get(key)
+            if m is None:
+                m = np.zeros_like(param)
+                self._m[key] = m
+                self._v[key] = np.zeros_like(param)
+            v = self._v[key]
+            m *= b1
+            m += (1 - b1) * grad
+            v *= b2
+            v += (1 - b2) * grad**2
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * param
+            param -= self.lr * update

@@ -1,0 +1,31 @@
+"""Shared utilities: typed errors, validation helpers, logging."""
+
+from repro.utils.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    GraphError,
+    NotFittedError,
+    ReproError,
+    ValidationError,
+)
+from repro.utils.validation import (
+    check_array,
+    check_consistent_features,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "ConvergenceError",
+    "GraphError",
+    "NotFittedError",
+    "ReproError",
+    "ValidationError",
+    "check_array",
+    "check_consistent_features",
+    "check_is_fitted",
+    "check_random_state",
+    "check_X_y",
+]

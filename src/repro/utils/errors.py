@@ -1,0 +1,33 @@
+"""Typed exceptions used across the :mod:`repro` package.
+
+Raising narrow, documented exception types (instead of bare ``ValueError``
+everywhere) lets callers distinguish user input problems from internal
+invariant violations, and lets the failure-injection tests assert on exact
+error classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Invalid user-supplied data or argument (wrong shape, dtype, range)."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An estimator method requiring a prior ``fit`` was called before it."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative algorithm failed to converge within its budget."""
+
+
+class GraphError(ReproError, ValueError):
+    """A causal-graph operation received an inconsistent graph."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration object contains mutually inconsistent settings."""

@@ -1,0 +1,105 @@
+"""Input-validation helpers shared by every estimator in the library.
+
+The helpers convert inputs to float64/int arrays, enforce shapes, and raise
+:class:`~repro.utils.errors.ValidationError` with actionable messages.  They
+mirror the small subset of scikit-learn's ``check_array``/``check_X_y``
+behaviour that the library actually needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import NotFittedError, ValidationError
+
+
+def check_array(
+    X,
+    *,
+    name: str = "X",
+    ndim: int = 2,
+    allow_nan: bool = False,
+    min_samples: int = 1,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Validate and convert an array-like to a numpy array.
+
+    Parameters
+    ----------
+    X:
+        Array-like input.
+    name:
+        Name used in error messages.
+    ndim:
+        Required dimensionality (1 or 2).
+    allow_nan:
+        Whether NaN/inf entries are permitted.
+    min_samples:
+        Minimum number of rows (axis 0).
+    dtype:
+        Target dtype; ``None`` keeps the input dtype.
+
+    Returns
+    -------
+    numpy.ndarray
+        The validated array (a copy only if conversion was required).
+    """
+    try:
+        arr = np.asarray(X, dtype=dtype)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} could not be converted to a numeric array: {exc}") from exc
+    if arr.ndim != ndim:
+        raise ValidationError(f"{name} must be {ndim}-dimensional, got shape {arr.shape}")
+    if arr.shape[0] < min_samples:
+        raise ValidationError(
+            f"{name} must contain at least {min_samples} sample(s), got {arr.shape[0]}"
+        )
+    if not allow_nan and arr.dtype.kind == "f" and not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_X_y(X, y, *, allow_nan: bool = False) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix and its label vector together.
+
+    Ensures ``X`` is a finite 2-D float matrix, ``y`` a 1-D vector, and that
+    their first dimensions agree.
+    """
+    X = check_array(X, name="X", ndim=2, allow_nan=allow_nan)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValidationError(f"y must be 1-dimensional, got shape {y.shape}")
+    if y.shape[0] != X.shape[0]:
+        raise ValidationError(
+            f"X and y have inconsistent lengths: {X.shape[0]} vs {y.shape[0]}"
+        )
+    return X, y
+
+
+def check_is_fitted(estimator, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless ``estimator`` has ``attribute`` set."""
+    if getattr(estimator, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(estimator).__name__} is not fitted yet; call fit() before this method"
+        )
+
+
+def check_consistent_features(X: np.ndarray, n_features: int, *, name: str = "X") -> None:
+    """Raise if ``X`` does not have exactly ``n_features`` columns."""
+    if X.shape[1] != n_features:
+        raise ValidationError(
+            f"{name} has {X.shape[1]} features, but the estimator was fitted with {n_features}"
+        )
+
+
+def check_random_state(seed) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    ``Generator`` (returned unchanged, so state is shared intentionally).
+    """
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    raise ValidationError(f"Cannot build a random generator from {seed!r}")

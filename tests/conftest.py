@@ -1,0 +1,65 @@
+"""Shared fixtures: tiny-but-structured datasets, cached per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    FiveGCConfig,
+    FiveGIPCConfig,
+    make_5gc,
+    make_5gipc,
+)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test (no cross-test coupling)."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_5gc():
+    """A small 5GC benchmark shared (read-only) across tests."""
+    return make_5gc(
+        FiveGCConfig(n_source=480, n_target=360, feature_scale=0.15),
+        random_state=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_5gipc():
+    """A small 5GIPC benchmark shared (read-only) across tests."""
+    return make_5gipc(
+        FiveGIPCConfig(sample_scale=0.08, feature_scale=0.6), random_state=0
+    )
+
+
+@pytest.fixture(scope="session")
+def blob_data():
+    """Well-separated 4-class Gaussian blobs: (X_train, y_train, X_test, y_test)."""
+    gen = np.random.default_rng(7)
+    centers = np.array(
+        [[2.0, 0.0, 1.0, -1.0], [-2.0, 1.0, -1.0, 0.0],
+         [0.0, -2.0, 2.0, 1.0], [1.0, 2.0, -2.0, -2.0]]
+    )
+    X_train, y_train, X_test, y_test = [], [], [], []
+    for c, center in enumerate(centers):
+        X_train.append(center + 0.4 * gen.standard_normal((40, 4)))
+        y_train.extend([c] * 40)
+        X_test.append(center + 0.4 * gen.standard_normal((15, 4)))
+        y_test.extend([c] * 15)
+    return (
+        np.vstack(X_train),
+        np.array(y_train),
+        np.vstack(X_test),
+        np.array(y_test),
+    )
+
+
+@pytest.fixture(scope="session")
+def binary_blob_data(blob_data):
+    """Two-class variant of the blob data."""
+    X_train, y_train, X_test, y_test = blob_data
+    return X_train, (y_train >= 2).astype(int), X_test, (y_test >= 2).astype(int)

@@ -1,0 +1,231 @@
+"""Tests for the compared approaches: contracts, behaviour, registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALL_METHODS,
+    CMT,
+    CORAL,
+    DANN,
+    FSGANMethod,
+    FSMethod,
+    FineTune,
+    ICD,
+    MODEL_AGNOSTIC_METHODS,
+    MODEL_SPECIFIC_METHODS,
+    MatchNet,
+    ProtoNet,
+    SCL,
+    SourceAndTarget,
+    SrcOnly,
+    TarOnly,
+    build_method,
+    coral_transform,
+)
+from repro.ml import MLPClassifier, macro_f1
+from repro.utils.errors import ValidationError
+
+
+def fast_mlp():
+    return MLPClassifier(hidden_sizes=(64,), epochs=40, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def drift_problem(tiny_5gc):
+    """(bench, X_few, y_few, X_test, y_test) with 5 shots per class."""
+    X_few, y_few, X_test, y_test = tiny_5gc.few_shot_split(5, random_state=0)
+    return tiny_5gc, X_few, y_few, X_test, y_test
+
+
+class TestNaiveBaselines:
+    def test_srconly_in_domain_high(self, drift_problem):
+        bench, X_few, y_few, _, _ = drift_problem
+        method = SrcOnly(fast_mlp).fit(bench.X_source, bench.y_source, X_few, y_few)
+        f1 = macro_f1(bench.y_source, method.predict(bench.X_source))
+        assert f1 > 0.95  # the paper's >98 in-domain sanity check
+
+    def test_srconly_collapses_under_drift(self, drift_problem):
+        bench, X_few, y_few, X_test, y_test = drift_problem
+        method = SrcOnly(fast_mlp).fit(bench.X_source, bench.y_source, X_few, y_few)
+        f1_target = macro_f1(y_test, method.predict(X_test))
+        f1_source = macro_f1(bench.y_source, method.predict(bench.X_source))
+        assert f1_target < f1_source - 0.15
+
+    def test_taronly_beats_chance_at_five_shots(self, drift_problem):
+        bench, X_few, y_few, X_test, y_test = drift_problem
+        method = TarOnly(fast_mlp).fit(bench.X_source, bench.y_source, X_few, y_few)
+        assert macro_f1(y_test, method.predict(X_test)) > 1.5 / 16
+
+    def test_taronly_needs_two_classes(self, drift_problem):
+        bench, X_few, y_few, _, _ = drift_problem
+        mask = y_few == 0
+        with pytest.raises(ValidationError):
+            TarOnly(fast_mlp).fit(bench.X_source, bench.y_source,
+                                  X_few[mask], y_few[mask])
+
+    def test_sandt_beats_srconly(self, drift_problem):
+        bench, X_few, y_few, X_test, y_test = drift_problem
+        st = SourceAndTarget(fast_mlp).fit(bench.X_source, bench.y_source, X_few, y_few)
+        src = SrcOnly(fast_mlp).fit(bench.X_source, bench.y_source, X_few, y_few)
+        assert macro_f1(y_test, st.predict(X_test)) > macro_f1(
+            y_test, src.predict(X_test)
+        )
+
+    def test_finetune_beats_srconly(self, drift_problem):
+        bench, X_few, y_few, X_test, y_test = drift_problem
+        ft = FineTune(epochs=20, fine_tune_epochs=20, random_state=0)
+        ft.fit(bench.X_source, bench.y_source, X_few, y_few)
+        src = SrcOnly(fast_mlp).fit(bench.X_source, bench.y_source, X_few, y_few)
+        assert macro_f1(y_test, ft.predict(X_test)) > macro_f1(
+            y_test, src.predict(X_test)
+        )
+
+
+class TestCORAL:
+    def test_transform_aligns_covariance(self, rng):
+        Xs = rng.standard_normal((500, 4))
+        Xt = rng.standard_normal((500, 4)) @ np.diag([3.0, 1.0, 0.5, 2.0])
+        aligned = coral_transform(Xs, Xt, shrinkage=0.0)
+        np.testing.assert_allclose(
+            np.cov(aligned, rowvar=False), np.cov(Xt, rowvar=False), atol=0.3
+        )
+
+    def test_few_shot_target_does_not_crash(self, drift_problem):
+        bench, X_few, y_few, X_test, y_test = drift_problem
+        method = CORAL(fast_mlp).fit(bench.X_source, bench.y_source, X_few, y_few)
+        assert macro_f1(y_test, method.predict(X_test)) > 1.5 / 16
+
+    def test_shrinkage_validated(self, rng):
+        with pytest.raises(ValidationError):
+            coral_transform(rng.standard_normal((10, 2)),
+                            rng.standard_normal((10, 2)), shrinkage=2.0)
+
+
+class TestAdversarial:
+    def test_dann_learns(self, drift_problem):
+        bench, X_few, y_few, X_test, y_test = drift_problem
+        method = DANN(epochs=25, random_state=0)
+        method.fit(bench.X_source, bench.y_source, X_few, y_few)
+        assert macro_f1(y_test, method.predict(X_test)) > 2.0 / 16
+
+    def test_dann_embeddings_shape(self, drift_problem):
+        bench, X_few, y_few, X_test, _ = drift_problem
+        method = DANN(epochs=3, embed_dim=16, random_state=0)
+        method.fit(bench.X_source, bench.y_source, X_few, y_few)
+        assert method.embed(X_test[:5]).shape == (5, 16)
+
+    def test_scl_learns(self, drift_problem):
+        bench, X_few, y_few, X_test, y_test = drift_problem
+        method = SCL(epochs=25, random_state=0)
+        method.fit(bench.X_source, bench.y_source, X_few, y_few)
+        assert macro_f1(y_test, method.predict(X_test)) > 2.0 / 16
+
+    def test_proba_contract(self, drift_problem):
+        bench, X_few, y_few, X_test, _ = drift_problem
+        for cls in (DANN, SCL):
+            method = cls(epochs=3, random_state=0)
+            method.fit(bench.X_source, bench.y_source, X_few, y_few)
+            proba = method.predict_proba(X_test[:4])
+            np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+
+class TestFewShotBaselines:
+    def test_protonet_beats_chance(self, drift_problem):
+        bench, X_few, y_few, X_test, y_test = drift_problem
+        method = ProtoNet(episodes=80, random_state=0)
+        method.fit(bench.X_source, bench.y_source, X_few, y_few)
+        assert macro_f1(y_test, method.predict(X_test)) > 2.0 / 16
+
+    def test_matchnet_beats_chance(self, drift_problem):
+        bench, X_few, y_few, X_test, y_test = drift_problem
+        method = MatchNet(episodes=80, random_state=0)
+        method.fit(bench.X_source, bench.y_source, X_few, y_few)
+        assert macro_f1(y_test, method.predict(X_test)) > 2.0 / 16
+
+    def test_protonet_blend_validated(self):
+        with pytest.raises(ValidationError):
+            ProtoNet(target_blend=1.5)
+
+    def test_matchnet_prediction_set(self, drift_problem):
+        bench, X_few, y_few, X_test, _ = drift_problem
+        method = MatchNet(episodes=10, random_state=0)
+        method.fit(bench.X_source, bench.y_source, X_few, y_few)
+        assert set(method.predict(X_test[:20]).tolist()) <= set(range(16))
+
+
+class TestCausalBaselines:
+    def test_cmt_beats_taronly(self, drift_problem):
+        bench, X_few, y_few, X_test, y_test = drift_problem
+        cmt = CMT(fast_mlp, random_state=0)
+        cmt.fit(bench.X_source, bench.y_source, X_few, y_few)
+        tar = TarOnly(fast_mlp).fit(bench.X_source, bench.y_source, X_few, y_few)
+        assert macro_f1(y_test, cmt.predict(X_test)) > macro_f1(
+            y_test, tar.predict(X_test)
+        )
+
+    def test_cmt_augmentation_params_validated(self):
+        with pytest.raises(ValidationError):
+            CMT(fast_mlp, n_augment_per_class=0)
+
+    def test_icd_flags_fewer_than_fs(self, tiny_5gc):
+        """The paper: ICD identifies much less variant features than FS.
+
+        Compared at the largest shot budget, where FS's subset-search test
+        has full power while ICD's Bonferroni-corrected marginal test stays
+        conservative.
+        """
+        X_few, y_few, _, _ = tiny_5gc.few_shot_split(10, random_state=0)
+        icd = ICD(fast_mlp).fit(tiny_5gc.X_source, tiny_5gc.y_source, X_few, y_few)
+        fs = FSMethod(fast_mlp).fit(tiny_5gc.X_source, tiny_5gc.y_source, X_few, y_few)
+        assert icd.n_variant_ <= fs.n_variant_
+
+    def test_icd_predicts(self, drift_problem):
+        bench, X_few, y_few, X_test, y_test = drift_problem
+        icd = ICD(fast_mlp).fit(bench.X_source, bench.y_source, X_few, y_few)
+        assert macro_f1(y_test, icd.predict(X_test)) > 2.0 / 16
+
+
+class TestOursAsBaselines:
+    def test_fs_does_not_use_target_labels(self, drift_problem):
+        bench, X_few, y_few, X_test, _ = drift_problem
+        a = FSMethod(fast_mlp).fit(bench.X_source, bench.y_source, X_few, y_few)
+        b = FSMethod(fast_mlp).fit(
+            bench.X_source, bench.y_source, X_few, np.zeros_like(y_few)
+        )
+        np.testing.assert_array_equal(a.predict(X_test), b.predict(X_test))
+
+    def test_flags(self):
+        assert FSMethod.uses_target_in_training is False
+        assert FSGANMethod.uses_target_in_training is False
+        assert SrcOnly.uses_target_in_training is False
+        assert CMT.uses_target_in_training is True
+
+
+class TestRegistry:
+    def test_all_methods_listed(self):
+        assert set(ALL_METHODS) == set(MODEL_AGNOSTIC_METHODS) | set(
+            MODEL_SPECIFIC_METHODS
+        )
+        assert len(ALL_METHODS) == 13
+
+    @pytest.mark.parametrize("name", MODEL_AGNOSTIC_METHODS)
+    def test_agnostic_methods_build(self, name):
+        method = build_method(name, fast_mlp, random_state=0)
+        assert hasattr(method, "fit") and hasattr(method, "predict")
+
+    @pytest.mark.parametrize("name", MODEL_SPECIFIC_METHODS)
+    def test_specific_methods_build(self, name):
+        method = build_method(name, random_state=0)
+        assert hasattr(method, "fit") and hasattr(method, "predict")
+
+    def test_agnostic_requires_factory(self):
+        with pytest.raises(ValidationError):
+            build_method("srconly")
+
+    def test_unknown_method(self):
+        with pytest.raises(ValidationError, match="unknown method"):
+            build_method("magic", fast_mlp)
+
+    def test_case_insensitive(self):
+        assert build_method("SrcOnly", fast_mlp) is not None

@@ -1,0 +1,146 @@
+"""Unit tests for the conditional-independence tests."""
+
+import numpy as np
+import pytest
+
+from repro.causal import fisher_z_test, g_squared_test, regression_invariance_test
+from repro.utils.errors import ValidationError
+
+
+class TestFisherZ:
+    def test_independent_high_p(self, rng):
+        data = rng.standard_normal((500, 2))
+        assert fisher_z_test(data, 0, 1) > 0.01
+
+    def test_dependent_low_p(self, rng):
+        x = rng.standard_normal(500)
+        data = np.column_stack([x, x + 0.2 * rng.standard_normal(500)])
+        assert fisher_z_test(data, 0, 1) < 1e-6
+
+    def test_conditioning_on_common_cause(self, rng):
+        z = rng.standard_normal(800)
+        x = z + 0.5 * rng.standard_normal(800)
+        y = z + 0.5 * rng.standard_normal(800)
+        data = np.column_stack([x, y, z])
+        assert fisher_z_test(data, 0, 1) < 1e-4          # marginally dependent
+        assert fisher_z_test(data, 0, 1, (2,)) > 0.01    # independent given Z
+
+    def test_collider_conditioning_induces_dependence(self, rng):
+        x = rng.standard_normal(800)
+        y = rng.standard_normal(800)
+        c = x + y + 0.2 * rng.standard_normal(800)
+        data = np.column_stack([x, y, c])
+        assert fisher_z_test(data, 0, 1) > 0.01
+        assert fisher_z_test(data, 0, 1, (2,)) < 1e-4
+
+    def test_too_small_sample_returns_one(self, rng):
+        data = rng.standard_normal((5, 4))
+        assert fisher_z_test(data, 0, 1, (2, 3)) == 1.0
+
+    def test_rejects_overlapping_indices(self, rng):
+        data = rng.standard_normal((50, 3))
+        with pytest.raises(ValidationError):
+            fisher_z_test(data, 0, 0)
+        with pytest.raises(ValidationError):
+            fisher_z_test(data, 0, 1, (0,))
+
+    def test_rejects_bad_index(self, rng):
+        with pytest.raises(ValidationError):
+            fisher_z_test(rng.standard_normal((50, 2)), 0, 5)
+
+    def test_constant_column_independent(self, rng):
+        data = np.column_stack([np.ones(100), rng.standard_normal(100)])
+        assert fisher_z_test(data, 0, 1) == 1.0
+
+
+class TestGSquared:
+    def test_independent(self, rng):
+        x = rng.integers(0, 2, 1000)
+        y = rng.integers(0, 3, 1000)
+        assert g_squared_test(x, y) > 0.01
+
+    def test_dependent(self, rng):
+        x = rng.integers(0, 2, 1000)
+        y = np.where(rng.random(1000) < 0.9, x, 1 - x)
+        assert g_squared_test(x, y) < 1e-6
+
+    def test_conditional_independence(self, rng):
+        z = rng.integers(0, 2, 2000)
+        flip = lambda v, p: np.where(rng.random(len(v)) < p, v, 1 - v)  # noqa: E731
+        x = flip(z, 0.85)
+        y = flip(z, 0.85)
+        assert g_squared_test(x, y) < 1e-4
+        assert g_squared_test(x, y, z) > 0.01
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValidationError):
+            g_squared_test(np.zeros(3, dtype=int), np.zeros(4, dtype=int))
+
+
+class TestRegressionInvariance:
+    def test_same_distribution_high_p(self, rng):
+        xs = rng.standard_normal(600)
+        xt = rng.standard_normal(60)
+        assert regression_invariance_test(xs, xt) > 0.01
+
+    def test_shifted_target_low_p(self, rng):
+        xs = rng.standard_normal(600)
+        xt = rng.standard_normal(60) + 3.0
+        assert regression_invariance_test(xs, xt) < 1e-4
+
+    def test_scale_change_detected(self, rng):
+        xs = rng.standard_normal(600)
+        xt = 4.0 * rng.standard_normal(100)
+        assert regression_invariance_test(xs, xt) < 1e-3
+
+    def test_conditioning_explains_parent_shift(self, rng):
+        # child = 0.9 * parent + noise; only the parent is intervened
+        z_s = rng.standard_normal(800)
+        x_s = 0.9 * z_s + 0.3 * rng.standard_normal(800)
+        z_t = rng.standard_normal(80) + 3.0
+        x_t = 0.9 * z_t + 0.3 * rng.standard_normal(80)
+        # marginally the child looks shifted
+        assert regression_invariance_test(x_s, x_t) < 1e-3
+        # conditionally on its parent it is invariant
+        p = regression_invariance_test(x_s, x_t, z_s[:, None], z_t[:, None])
+        assert p > 0.01
+
+    def test_intervened_child_stays_dependent(self, rng):
+        z_s = rng.standard_normal(800)
+        x_s = 0.9 * z_s + 0.3 * rng.standard_normal(800)
+        z_t = rng.standard_normal(80)
+        x_t = 0.9 * z_t + 0.3 * rng.standard_normal(80) + 2.5  # own shift
+        p = regression_invariance_test(x_s, x_t, z_s[:, None], z_t[:, None])
+        assert p < 1e-3
+
+    def test_tiny_target_sample_conservative(self, rng):
+        xs = rng.standard_normal(600)
+        xt = rng.standard_normal(1)
+        assert regression_invariance_test(xs, xt) == 1.0
+
+    def test_constant_columns(self):
+        assert regression_invariance_test(np.ones(100), np.ones(10)) == 1.0
+        assert regression_invariance_test(np.ones(100), np.zeros(10)) == 0.0
+
+    def test_mismatched_conditioning_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            regression_invariance_test(
+                rng.standard_normal(10),
+                rng.standard_normal(5),
+                rng.standard_normal((4, 1)),
+                rng.standard_normal((5, 1)),
+            )
+
+    def test_few_shot_power_grows_with_samples(self, rng):
+        """Smaller shifts need more target samples — the paper's §VI-C effect."""
+        xs = rng.standard_normal(2000)
+        shift = 0.8
+        p_small = np.median([
+            regression_invariance_test(xs, rng.standard_normal(8) + shift)
+            for _ in range(20)
+        ])
+        p_large = np.median([
+            regression_invariance_test(xs, rng.standard_normal(120) + shift)
+            for _ in range(20)
+        ])
+        assert p_large < p_small

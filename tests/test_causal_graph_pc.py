@@ -1,0 +1,125 @@
+"""Unit tests for the causal graph structure and the PC algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.causal import CausalGraph, pc_algorithm, pc_skeleton
+from repro.utils.errors import GraphError
+
+
+class TestCausalGraph:
+    def test_complete_graph_edge_count(self):
+        graph = CausalGraph.complete(["a", "b", "c", "d"])
+        assert graph.n_edges() == 6
+
+    def test_add_remove(self):
+        graph = CausalGraph(["a", "b"])
+        graph.add_undirected_edge("a", "b")
+        assert graph.has_edge("a", "b")
+        graph.remove_edge("a", "b")
+        assert not graph.has_edge("a", "b")
+
+    def test_orient(self):
+        graph = CausalGraph(["a", "b"])
+        graph.add_undirected_edge("a", "b")
+        graph.orient("a", "b")
+        assert graph.is_directed("a", "b")
+        assert not graph.is_directed("b", "a")
+        assert graph.parents("b") == {"a"}
+        assert graph.children("a") == {"b"}
+
+    def test_orient_missing_edge_fails(self):
+        graph = CausalGraph(["a", "b"])
+        with pytest.raises(GraphError):
+            graph.orient("a", "b")
+
+    def test_no_self_loops(self):
+        graph = CausalGraph(["a"])
+        with pytest.raises(GraphError):
+            graph.add_undirected_edge("a", "a")
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(GraphError):
+            CausalGraph(["a", "a"])
+
+    def test_unknown_node_rejected(self):
+        graph = CausalGraph(["a"])
+        with pytest.raises(GraphError):
+            graph.neighbors("zz")
+
+    def test_v_structure_orientation(self):
+        # a - c - b with a, b nonadjacent and c not in sepset(a, b)
+        graph = CausalGraph(["a", "b", "c"])
+        graph.add_undirected_edge("a", "c")
+        graph.add_undirected_edge("b", "c")
+        graph.orient_v_structures({frozenset(("a", "b")): set()})
+        assert graph.is_directed("a", "c")
+        assert graph.is_directed("b", "c")
+
+    def test_meek_rule_one(self):
+        # c → a, a - b, c not adjacent to b  =>  a → b
+        graph = CausalGraph(["a", "b", "c"])
+        graph.add_undirected_edge("c", "a")
+        graph.orient("c", "a")
+        graph.add_undirected_edge("a", "b")
+        graph.apply_meek_rules()
+        assert graph.is_directed("a", "b")
+
+    def test_to_networkx(self):
+        graph = CausalGraph(["a", "b", "c"])
+        graph.add_undirected_edge("a", "b")
+        graph.add_undirected_edge("b", "c")
+        graph.orient("b", "c")
+        g = graph.to_networkx()
+        assert g.has_edge("a", "b") and g.has_edge("b", "a")  # undirected pair
+        assert g.has_edge("b", "c") and not g.has_edge("c", "b")
+
+
+def chain_data(rng, n=1500):
+    """x0 → x1 → x2 linear-Gaussian chain."""
+    x0 = rng.standard_normal(n)
+    x1 = 0.9 * x0 + 0.4 * rng.standard_normal(n)
+    x2 = 0.9 * x1 + 0.4 * rng.standard_normal(n)
+    return np.column_stack([x0, x1, x2])
+
+
+class TestPCAlgorithm:
+    def test_skeleton_of_chain(self, rng):
+        data = chain_data(rng)
+        graph, sepsets, n_tests = pc_skeleton(data, ["x0", "x1", "x2"], alpha=0.01)
+        assert graph.has_edge("x0", "x1")
+        assert graph.has_edge("x1", "x2")
+        assert not graph.has_edge("x0", "x2")
+        assert sepsets[frozenset(("x0", "x2"))] == {"x1"}
+        assert n_tests > 0
+
+    def test_collider_orientation(self, rng):
+        n = 2000
+        x0 = rng.standard_normal(n)
+        x2 = rng.standard_normal(n)
+        x1 = x0 + x2 + 0.3 * rng.standard_normal(n)
+        data = np.column_stack([x0, x1, x2])
+        result = pc_algorithm(data, ["x0", "x1", "x2"], alpha=0.01)
+        assert result.graph.is_directed("x0", "x1")
+        assert result.graph.is_directed("x2", "x1")
+
+    def test_independent_nodes_no_edges(self, rng):
+        data = rng.standard_normal((800, 4))
+        result = pc_algorithm(data, alpha=0.001)
+        assert result.graph.n_edges() <= 1  # allow one false positive
+
+    def test_exogenous_orients_outward(self, rng):
+        n = 1500
+        f = rng.standard_normal(n)
+        x = 0.8 * f + 0.5 * rng.standard_normal(n)
+        data = np.column_stack([x, f])
+        result = pc_algorithm(
+            data, ["x", "F"], alpha=0.01, exogenous={"F"}
+        )
+        assert result.graph.is_directed("F", "x")
+
+    def test_max_cond_size_limits_tests(self, rng):
+        data = chain_data(rng)
+        _, _, n_small = pc_skeleton(data, list("abc"), max_cond_size=0)
+        _, _, n_large = pc_skeleton(data, list("abc"), max_cond_size=1)
+        assert n_small <= n_large

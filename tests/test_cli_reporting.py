@@ -1,0 +1,133 @@
+"""Tests for the CLI and the table formatters (pure, no heavy runs)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.reporting import (
+    format_ablation,
+    format_multitarget,
+    format_runtime,
+    format_table1,
+    format_variant_counts,
+    summarize_improvement,
+)
+from repro.experiments.runner import CellResult
+
+
+def make_cell(method, model, shots, score, dataset="5gc"):
+    return CellResult(dataset=dataset, method=method, model=model,
+                      shots=shots, scores=[score])
+
+
+@pytest.fixture()
+def synthetic_results():
+    cells = []
+    for shots, bump in ((1, 0.0), (5, 0.05), (10, 0.08)):
+        for model in ("TNet", "MLP"):
+            cells.append(make_cell("fs+gan", model, shots, 0.90 + bump))
+            cells.append(make_cell("fs", model, shots, 0.86 + bump))
+            cells.append(make_cell("srconly", model, shots, 0.20))
+            cells.append(make_cell("cmt", model, shots, 0.65 + bump))
+        cells.append(make_cell("dann", "-", shots, 0.55 + bump))
+    return cells
+
+
+class TestFormatTable1:
+    def test_contains_all_rows(self, synthetic_results):
+        text = format_table1(synthetic_results, dataset="5GC")
+        for label in ("FS+GAN (ours)", "FS (ours)", "SrcOnly", "CMT", "DANN"):
+            assert label in text
+
+    def test_values_scaled_to_hundred(self, synthetic_results):
+        text = format_table1(synthetic_results, dataset="5GC")
+        assert " 90.0" in text and " 20.0" in text
+
+    def test_model_specific_row_has_merged_cells(self, synthetic_results):
+        text = format_table1(synthetic_results, dataset="5GC")
+        dann_line = next(line for line in text.splitlines() if "DANN" in line)
+        assert dann_line.count("55.0") == 1  # one merged value per shots block
+
+    def test_missing_cells_render_dash(self):
+        cells = [make_cell("fs", "TNet", 1, 0.9)]
+        text = format_table1(cells, dataset="X")
+        assert "-" in text
+
+
+class TestSummarizeImprovement:
+    def test_relative_improvement(self, synthetic_results):
+        summary = summarize_improvement(synthetic_results)
+        assert summary["best_other"] == "cmt"
+        assert summary["fsgan_gain"] > summary["best_other_gain"]
+        assert summary["relative_improvement"] > 0
+
+    def test_no_other_methods(self):
+        cells = [make_cell("fs+gan", "MLP", 1, 0.9),
+                 make_cell("srconly", "MLP", 1, 0.2)]
+        summary = summarize_improvement(cells)
+        assert summary["best_other"] is None
+
+
+class TestOtherFormatters:
+    def test_format_ablation(self):
+        cells = [make_cell("FS+GAN", "TNet", s, 0.9) for s in (1, 5)]
+        cells += [make_cell("FS+VAE", "TNet", s, 0.85) for s in (1, 5)]
+        text = format_ablation(cells, dataset="5GC")
+        assert "FS+GAN" in text and "FS+VAE" in text and "90.0" in text
+
+    def test_format_multitarget(self):
+        scores = {(a, t, s): 0.8 for a in (1, 2) for t in (1, 2) for s in (5,)}
+        text = format_multitarget({"scores": scores, "overlap": 0.7})
+        assert "FS+GAN_1" in text and "0.70" in text
+
+    def test_format_variant_counts(self):
+        result = {
+            "dataset": "5gc",
+            "n_true_variant": 20,
+            "rows": [{"shots": 1, "n_variant_mean": 10.0, "recall": 0.5,
+                      "precision": 1.0}],
+        }
+        text = format_variant_counts(result)
+        assert "10.0" in text and "0.50" in text
+
+    def test_format_runtime(self):
+        text = format_runtime({
+            "dataset": "5gc", "preset": "smoke", "n_features": 67,
+            "n_variant": 14, "n_ci_tests": 120, "fs_seconds": 1.5,
+            "gan_train_seconds": 8.0, "inference_seconds_per_sample": 0.002,
+        })
+        assert "120 CI tests" in text and "ms/sample" in text
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--dataset", "5gipc",
+                                  "--preset", "smoke"])
+        assert args.command == "table1"
+        assert args.dataset == "5gipc"
+        args = parser.parse_args(["runtime"])
+        assert args.command == "runtime"
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_bad_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--dataset", "mnist"])
+
+    def test_counts_command_runs(self, capsys):
+        code = main(["counts", "--dataset", "5gc", "--preset", "smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shots" in out and "#variant" in out
+
+    def test_table1_subset_runs(self, capsys):
+        code = main([
+            "table1", "--dataset", "5gc", "--preset", "smoke",
+            "--methods", "srconly", "fs", "--models", "MLP",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FS (ours)" in out and "SrcOnly" in out

@@ -1,0 +1,192 @@
+"""Tests for the core contribution: FeatureSeparator, VariantReconstructor,
+FSModel and FSGANPipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FSConfig,
+    FSGANPipeline,
+    FSModel,
+    FeatureSeparator,
+    ReconstructionConfig,
+    VariantReconstructor,
+)
+from repro.ml import MLPClassifier, MinMaxScaler, macro_f1
+from repro.utils.errors import ConfigurationError, NotFittedError, ValidationError
+
+
+def fast_mlp():
+    return MLPClassifier(hidden_sizes=(64,), epochs=40, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def fitted_separator(tiny_5gc):
+    scaler = MinMaxScaler().fit(tiny_5gc.X_source)
+    Xs = scaler.transform(tiny_5gc.X_source)
+    X_few, _, _, _ = tiny_5gc.few_shot_split(5, random_state=0)
+    sep = FeatureSeparator(FSConfig())
+    sep.fit(Xs, scaler.transform(X_few))
+    return sep, Xs
+
+
+class TestFSConfig:
+    def test_defaults_valid(self):
+        FSConfig()
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FSConfig(alpha=0.0)
+
+    def test_reconstruction_strategy_checked(self):
+        with pytest.raises(ConfigurationError):
+            ReconstructionConfig(strategy="diffusion")
+
+    def test_paper_configs(self):
+        assert ReconstructionConfig.paper_5gc().noise_dim == 30
+        assert ReconstructionConfig.paper_5gipc().noise_dim == 15
+        assert ReconstructionConfig.paper_5gc().epochs == 500
+
+
+class TestFeatureSeparator:
+    def test_split_merge_round_trip(self, fitted_separator):
+        sep, Xs = fitted_separator
+        X_inv, X_var = sep.split(Xs)
+        merged = sep.merge(X_inv, X_var)
+        np.testing.assert_array_equal(merged, Xs)
+
+    def test_split_widths(self, fitted_separator):
+        sep, Xs = fitted_separator
+        X_inv, X_var = sep.split(Xs)
+        assert X_inv.shape[1] + X_var.shape[1] == Xs.shape[1]
+        assert X_var.shape[1] == sep.n_variant_
+
+    def test_merge_validates_widths(self, fitted_separator):
+        sep, Xs = fitted_separator
+        X_inv, X_var = sep.split(Xs)
+        with pytest.raises(ValidationError):
+            sep.merge(X_inv[:, :-1], X_var)
+        with pytest.raises(ValidationError):
+            sep.merge(X_inv[:-1], X_var)
+
+    def test_split_before_fit(self):
+        with pytest.raises(NotFittedError):
+            FeatureSeparator().split(np.zeros((2, 3)))
+
+    def test_split_wrong_width(self, fitted_separator):
+        sep, Xs = fitted_separator
+        with pytest.raises(ValidationError):
+            sep.split(np.zeros((2, Xs.shape[1] + 1)))
+
+
+class TestVariantReconstructor:
+    def test_empty_variant_set_is_legal(self):
+        rec = VariantReconstructor(ReconstructionConfig(epochs=1))
+        rec.fit(np.zeros((10, 4)), np.zeros((10, 0)))
+        out = rec.reconstruct(np.zeros((3, 4)))
+        assert out.shape == (3, 0)
+
+    def test_gan_requires_labels(self, rng):
+        rec = VariantReconstructor(ReconstructionConfig(strategy="gan", epochs=1))
+        with pytest.raises(ValidationError, match="labels"):
+            rec.fit(rng.standard_normal((10, 4)), rng.standard_normal((10, 2)))
+
+    @pytest.mark.parametrize("strategy", ["gan", "nocond", "vae", "autoencoder"])
+    def test_all_strategies_fit_and_reconstruct(self, strategy, rng):
+        rec = VariantReconstructor(
+            ReconstructionConfig(strategy=strategy, epochs=3, hidden_size=16,
+                                 noise_dim=2),
+            random_state=0,
+        )
+        X_inv = rng.standard_normal((40, 6))
+        X_var = np.tanh(rng.standard_normal((40, 3)))
+        y = rng.integers(0, 2, 40)
+        rec.fit(X_inv, X_var, y)
+        out = rec.reconstruct(X_inv[:5])
+        assert out.shape == (5, 3)
+
+
+class TestFSModel:
+    def test_beats_srconly_under_drift(self, tiny_5gc):
+        X_few, _, X_test, y_test = tiny_5gc.few_shot_split(5, random_state=0)
+        scaler = MinMaxScaler().fit(tiny_5gc.X_source)
+        src = fast_mlp().fit(scaler.transform(tiny_5gc.X_source), tiny_5gc.y_source)
+        srconly = macro_f1(y_test, src.predict(scaler.transform(X_test)))
+
+        fs = FSModel(fast_mlp).fit(tiny_5gc.X_source, tiny_5gc.y_source, X_few)
+        fs_f1 = macro_f1(y_test, fs.predict(X_test))
+        assert fs_f1 > srconly + 0.05
+
+    def test_n_variant_exposed(self, tiny_5gc):
+        X_few, _, _, _ = tiny_5gc.few_shot_split(5, random_state=0)
+        fs = FSModel(fast_mlp).fit(tiny_5gc.X_source, tiny_5gc.y_source, X_few)
+        assert fs.n_variant_ > 0
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(ValidationError):
+            FSModel(model_factory="not callable")
+
+
+class TestFSGANPipeline:
+    @pytest.fixture(scope="class")
+    def fitted_pipeline(self, tiny_5gc):
+        X_few, _, _, _ = tiny_5gc.few_shot_split(5, random_state=0)
+        pipe = FSGANPipeline(
+            fast_mlp,
+            reconstruction_config=ReconstructionConfig(epochs=300, hidden_size=128,
+                                                        noise_dim=6),
+            random_state=0,
+        )
+        pipe.fit(tiny_5gc.X_source, tiny_5gc.y_source, X_few)
+        return pipe
+
+    def test_transform_preserves_invariant_features(self, fitted_pipeline, tiny_5gc):
+        _, _, X_test, _ = tiny_5gc.few_shot_split(5, random_state=0)
+        X_hat = fitted_pipeline.transform(X_test[:10])
+        Xt = fitted_pipeline.scaler_.transform(X_test[:10])
+        inv = fitted_pipeline.separator_.invariant_indices_
+        np.testing.assert_array_equal(X_hat[:, inv], Xt[:, inv])
+
+    def test_transform_replaces_variant_features(self, fitted_pipeline, tiny_5gc):
+        _, _, X_test, _ = tiny_5gc.few_shot_split(5, random_state=0)
+        X_hat = fitted_pipeline.transform(X_test[:10])
+        Xt = fitted_pipeline.scaler_.transform(X_test[:10])
+        var = fitted_pipeline.separator_.variant_indices_
+        assert not np.allclose(X_hat[:, var], Xt[:, var])
+        # GAN output is tanh-bounded
+        assert np.all(np.abs(X_hat[:, var]) <= 1.0)
+
+    def test_predict_beats_srconly(self, fitted_pipeline, tiny_5gc):
+        _, _, X_test, y_test = tiny_5gc.few_shot_split(5, random_state=0)
+        src_pred = fitted_pipeline.model_.predict(
+            fitted_pipeline.scaler_.transform(X_test)
+        )
+        srconly = macro_f1(y_test, src_pred)
+        ours = macro_f1(y_test, fitted_pipeline.predict(X_test))
+        assert ours > srconly + 0.05
+
+    def test_predict_proba(self, fitted_pipeline, tiny_5gc):
+        _, _, X_test, _ = tiny_5gc.few_shot_split(5, random_state=0)
+        proba = fitted_pipeline.predict_proba(X_test[:5])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_predict_source_high(self, fitted_pipeline, tiny_5gc):
+        f1 = macro_f1(
+            tiny_5gc.y_source, fitted_pipeline.predict_source(tiny_5gc.X_source)
+        )
+        assert f1 > 0.9
+
+    def test_refit_adapter_keeps_model(self, fitted_pipeline, tiny_5gc):
+        model_before = fitted_pipeline.model_
+        X_few2, _, _, _ = tiny_5gc.few_shot_split(10, random_state=7)
+        fitted_pipeline.refit_adapter(X_few2)
+        assert fitted_pipeline.model_ is model_before  # never retrained
+
+    def test_feature_count_mismatch(self, tiny_5gc):
+        pipe = FSGANPipeline(fast_mlp)
+        with pytest.raises(ValidationError):
+            pipe.fit(
+                tiny_5gc.X_source,
+                tiny_5gc.y_source,
+                tiny_5gc.X_target[:, :-1][:10],
+            )

@@ -1,0 +1,158 @@
+"""Tests for the 5GC / 5GIPC benchmark generators and DriftBenchmark."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    FiveGCConfig,
+    FiveGIPCConfig,
+    build_5gc_scm,
+    build_5gipc_scm,
+    make_5gc,
+    make_5gipc,
+    make_5gipc_multitarget,
+)
+from repro.datasets.fivegc import CLASS_NAMES as FIVEGC_CLASSES
+from repro.utils.errors import ValidationError
+
+
+class TestFiveGCSchema:
+    def test_paper_scale_feature_count(self):
+        scm, _, groups = build_5gc_scm(FiveGCConfig())
+        assert scm.n_features == 442  # the paper's metric count
+
+    def test_sixteen_classes(self):
+        assert len(FIVEGC_CLASSES) == 16
+        assert FIVEGC_CLASSES[0] == "normal"
+        assert sum("amf" in name for name in FIVEGC_CLASSES) == 5
+
+    def test_schema_deterministic(self):
+        cfg = FiveGCConfig(feature_scale=0.2)
+        scm1, iv1, _ = build_5gc_scm(cfg)
+        scm2, iv2, _ = build_5gc_scm(cfg)
+        assert scm1.feature_names == scm2.feature_names
+        assert iv1 == iv2
+
+    def test_groups_partition_features(self):
+        scm, _, groups = build_5gc_scm(FiveGCConfig(feature_scale=0.2))
+        all_ids = sorted(i for ids in groups.values() for i in ids)
+        # group index omits only the per-VNF load drivers (3 nodes)
+        assert len(all_ids) == scm.n_features - 3
+
+    def test_interventions_are_real(self):
+        _, interventions, _ = build_5gc_scm(FiveGCConfig(feature_scale=0.2))
+        assert len(interventions) > 0
+        assert all(not iv.is_identity() for iv in interventions)
+
+    def test_intervention_strength_scales_shift(self):
+        _, iv1, _ = build_5gc_scm(FiveGCConfig(feature_scale=0.2, intervention_strength=1.0))
+        _, iv2, _ = build_5gc_scm(FiveGCConfig(feature_scale=0.2, intervention_strength=2.0))
+        assert abs(iv2[0].shift) == pytest.approx(2 * abs(iv1[0].shift))
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            FiveGCConfig(n_source=2)
+        with pytest.raises(ValidationError):
+            FiveGCConfig(feature_scale=0.0)
+
+    def test_scaled_config(self):
+        small = FiveGCConfig().scaled(0.2)
+        assert small.n_source < 3645
+        with pytest.raises(ValidationError):
+            FiveGCConfig().scaled(0.0)
+
+
+class TestFiveGCBenchmark:
+    def test_shapes(self, tiny_5gc):
+        assert tiny_5gc.X_source.shape[0] == tiny_5gc.y_source.shape[0]
+        assert tiny_5gc.X_target.shape[1] == tiny_5gc.X_source.shape[1]
+        assert len(tiny_5gc.feature_names) == tiny_5gc.n_features
+
+    def test_all_classes_present(self, tiny_5gc):
+        assert set(tiny_5gc.y_source.tolist()) == set(range(16))
+        assert set(tiny_5gc.y_target.tolist()) == set(range(16))
+
+    def test_drift_exists(self, tiny_5gc):
+        """The true variant features must actually shift between domains."""
+        variant = tiny_5gc.true_variant_indices
+        src = tiny_5gc.X_source[:, variant]
+        tgt = tiny_5gc.X_target[:, variant]
+        shift = np.abs(src.mean(axis=0) - tgt.mean(axis=0)) / (src.std(axis=0) + 1e-9)
+        assert shift.mean() > 0.5
+
+    def test_invariant_features_stable(self, tiny_5gc):
+        invariant = np.setdiff1d(
+            np.arange(tiny_5gc.n_features), tiny_5gc.true_variant_indices
+        )
+        src = tiny_5gc.X_source[:, invariant]
+        tgt = tiny_5gc.X_target[:, invariant]
+        shift = np.abs(src.mean(axis=0) - tgt.mean(axis=0)) / (src.std(axis=0) + 1e-9)
+        # invariant features shift far less than variant ones on average
+        assert np.median(shift) < 0.3
+
+    def test_reproducible(self):
+        cfg = FiveGCConfig(n_source=64, n_target=64, feature_scale=0.12)
+        a = make_5gc(cfg, random_state=9)
+        b = make_5gc(cfg, random_state=9)
+        np.testing.assert_array_equal(a.X_source, b.X_source)
+        np.testing.assert_array_equal(a.y_target, b.y_target)
+
+    def test_few_shot_split_counts(self, tiny_5gc):
+        X_few, y_few, X_test, y_test = tiny_5gc.few_shot_split(5, random_state=0)
+        assert len(X_few) == 5 * 16
+        assert len(X_few) + len(X_test) == len(tiny_5gc.X_target)
+        for c in range(16):
+            assert np.sum(y_few == c) == 5
+
+    def test_few_shot_split_disjoint(self, tiny_5gc):
+        X_few, _, X_test, _ = tiny_5gc.few_shot_split(1, random_state=0)
+        # no row of X_few may appear in X_test
+        joined = np.vstack([X_few, X_test])
+        assert len(np.unique(joined, axis=0)) == len(joined)
+
+
+class TestFiveGIPCBenchmark:
+    def test_paper_scale_feature_count(self):
+        scm, _, _ = build_5gipc_scm(FiveGIPCConfig())
+        assert scm.n_features == 121  # 5 VNFs × 24 metrics + traffic root
+
+    def test_binary_labels(self, tiny_5gipc):
+        assert set(tiny_5gipc.y_source.tolist()) == {0, 1}
+        assert tiny_5gipc.class_names == ["normal", "faulty"]
+
+    def test_fault_type_metadata(self, tiny_5gipc):
+        types = tiny_5gipc.metadata["y_target_fault_type"]
+        assert len(types) == len(tiny_5gipc.y_target)
+        # binarization consistency
+        np.testing.assert_array_equal((types > 0).astype(int), tiny_5gipc.y_target)
+
+    def test_class_imbalance_matches_paper_shape(self, tiny_5gipc):
+        """Normal dominates, packet_loss/delay are the most common faults."""
+        types = tiny_5gipc.metadata["y_source_fault_type"]
+        counts = np.bincount(types, minlength=5)
+        assert counts[0] == counts.max()  # normal majority
+
+    def test_few_shot_split_stratifies_by_fault_type(self, tiny_5gipc):
+        X_few, y_few, _, _ = tiny_5gipc.few_shot_split(1, random_state=0)
+        # 1 shot per fault type = 5 samples (normal + 4 fault types)
+        assert len(X_few) == 5
+        assert np.sum(y_few == 0) == 1
+        assert np.sum(y_few == 1) == 4
+
+    def test_multitarget_shares_source(self):
+        cfg = FiveGIPCConfig(sample_scale=0.05, feature_scale=0.5)
+        b1, b2 = make_5gipc_multitarget(cfg, random_state=0)
+        np.testing.assert_array_equal(b1.X_source, b2.X_source)
+        assert not np.array_equal(b1.X_target, b2.X_target)
+
+    def test_multitarget_variant_overlap(self):
+        cfg = FiveGIPCConfig(sample_scale=0.05, feature_scale=0.5)
+        b1, b2 = make_5gipc_multitarget(cfg, random_state=0)
+        s1 = set(b1.true_variant_indices.tolist())
+        s2 = set(b2.true_variant_indices.tolist())
+        jaccard = len(s1 & s2) / len(s1 | s2)
+        assert jaccard > 0.5  # the paper's "majority common" property
+
+    def test_drift_profile_validated(self):
+        with pytest.raises(ValidationError):
+            FiveGIPCConfig(drift_profile=5)

@@ -1,0 +1,166 @@
+"""Unit + property tests for the SCM engine and soft interventions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import NodeSpec, SoftIntervention, StructuralCausalModel
+from repro.utils.errors import GraphError, ValidationError
+
+
+def simple_scm():
+    """root → child, both with class effects on the child."""
+    return StructuralCausalModel(
+        [
+            NodeSpec(name="root", noise_scale=1.0),
+            NodeSpec(
+                name="child",
+                parents=(0,),
+                weights=(0.8,),
+                noise_scale=0.5,
+                class_effects=(0.0, 2.0),
+            ),
+        ],
+        n_classes=2,
+    )
+
+
+class TestNodeSpec:
+    def test_parent_weight_mismatch(self):
+        with pytest.raises(ValidationError):
+            NodeSpec(name="x", parents=(0,), weights=())
+
+    def test_negative_noise(self):
+        with pytest.raises(ValidationError):
+            NodeSpec(name="x", noise_scale=-1.0)
+
+
+class TestSCMConstruction:
+    def test_topological_order_enforced(self):
+        with pytest.raises(GraphError):
+            StructuralCausalModel(
+                [NodeSpec(name="a", parents=(1,), weights=(1.0,)), NodeSpec(name="b")],
+                n_classes=1,
+            )
+
+    def test_class_effect_length_checked(self):
+        with pytest.raises(ValidationError):
+            StructuralCausalModel(
+                [NodeSpec(name="a", class_effects=(1.0, 2.0, 3.0))], n_classes=2
+            )
+
+    def test_adjacency(self):
+        scm = simple_scm()
+        A = scm.adjacency()
+        assert A[0, 1] and not A[1, 0]
+
+
+class TestSampling:
+    def test_shape(self):
+        scm = simple_scm()
+        X = scm.sample(np.zeros(50, dtype=int), random_state=0)
+        assert X.shape == (50, 2)
+
+    def test_class_effect_visible(self):
+        scm = simple_scm()
+        X0 = scm.sample(np.zeros(400, dtype=int), random_state=0)
+        X1 = scm.sample(np.ones(400, dtype=int), random_state=0)
+        assert X1[:, 1].mean() - X0[:, 1].mean() > 1.0
+
+    def test_parent_coupling(self):
+        scm = simple_scm()
+        X = scm.sample(np.zeros(800, dtype=int), random_state=0)
+        assert np.corrcoef(X[:, 0], X[:, 1])[0, 1] > 0.5
+
+    def test_reproducible_given_seed(self):
+        scm = simple_scm()
+        labels = np.zeros(20, dtype=int)
+        np.testing.assert_array_equal(
+            scm.sample(labels, random_state=5), scm.sample(labels, random_state=5)
+        )
+
+    def test_labels_out_of_range(self):
+        scm = simple_scm()
+        with pytest.raises(ValidationError):
+            scm.sample(np.array([2]), random_state=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_seed_determinism_property(self, seed):
+        scm = simple_scm()
+        labels = np.array([0, 1, 0, 1])
+        a = scm.sample(labels, random_state=seed)
+        b = scm.sample(labels, random_state=seed)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSoftInterventions:
+    def test_shift_moves_mean(self):
+        scm = simple_scm()
+        labels = np.zeros(500, dtype=int)
+        base = scm.sample(labels, random_state=0)
+        shifted = scm.sample(
+            labels,
+            interventions=(SoftIntervention(node=1, shift=3.0),),
+            random_state=0,
+        )
+        assert shifted[:, 1].mean() - base[:, 1].mean() > 2.0
+        # the parent is untouched
+        np.testing.assert_allclose(shifted[:, 0], base[:, 0])
+
+    def test_scale_changes_slope(self):
+        scm = simple_scm()
+        labels = np.zeros(2000, dtype=int)
+        base = scm.sample(labels, random_state=0)
+        scaled = scm.sample(
+            labels,
+            interventions=(SoftIntervention(node=1, scale=2.0),),
+            random_state=0,
+        )
+        slope_base = np.polyfit(base[:, 0], base[:, 1], 1)[0]
+        slope_scaled = np.polyfit(scaled[:, 0], scaled[:, 1], 1)[0]
+        assert slope_scaled > 1.5 * slope_base
+
+    def test_noise_factor_inflates_variance(self):
+        scm = simple_scm()
+        labels = np.zeros(2000, dtype=int)
+        base = scm.sample(labels, random_state=0)
+        noisy = scm.sample(
+            labels,
+            interventions=(SoftIntervention(node=0, noise_factor=3.0),),
+            random_state=0,
+        )
+        assert noisy[:, 0].std() > 2.0 * base[:, 0].std()
+
+    def test_identity_intervention_recognized(self):
+        assert SoftIntervention(node=0).is_identity()
+        assert not SoftIntervention(node=0, shift=1.0).is_identity()
+
+    def test_targets_exclude_identity(self):
+        scm = simple_scm()
+        targets = scm.intervention_targets(
+            (SoftIntervention(node=0), SoftIntervention(node=1, shift=1.0))
+        )
+        np.testing.assert_array_equal(targets, [1])
+
+    def test_duplicate_intervention_rejected(self):
+        scm = simple_scm()
+        with pytest.raises(ValidationError):
+            scm.sample(
+                np.zeros(5, dtype=int),
+                interventions=(
+                    SoftIntervention(node=1, shift=1.0),
+                    SoftIntervention(node=1, shift=2.0),
+                ),
+                random_state=0,
+            )
+
+    def test_unknown_node_rejected(self):
+        scm = simple_scm()
+        with pytest.raises(ValidationError):
+            scm.sample(
+                np.zeros(5, dtype=int),
+                interventions=(SoftIntervention(node=7, shift=1.0),),
+                random_state=0,
+            )

@@ -1,0 +1,140 @@
+"""Failure-injection tests: malformed inputs must raise typed errors, not
+corrupt state or crash with cryptic numpy exceptions."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SrcOnly, build_method
+from repro.core import FSGANPipeline, FSModel, FeatureSeparator
+from repro.gan import ConditionalGAN
+from repro.ml import (
+    GaussianMixture,
+    MLPClassifier,
+    MinMaxScaler,
+    RandomForestClassifier,
+    StandardScaler,
+    TNetClassifier,
+)
+from repro.utils.errors import NotFittedError, ValidationError
+
+
+def fast_mlp():
+    return MLPClassifier(hidden_sizes=(16,), epochs=2, random_state=0)
+
+
+class TestNaNInjection:
+    def test_scalers_reject_nan(self):
+        bad = np.array([[1.0, np.nan], [2.0, 3.0]])
+        with pytest.raises(ValidationError):
+            MinMaxScaler().fit(bad)
+        with pytest.raises(ValidationError):
+            StandardScaler().fit(bad)
+
+    def test_classifiers_reject_nan(self, rng):
+        X = rng.standard_normal((20, 3))
+        X[3, 1] = np.nan
+        y = rng.integers(0, 2, 20)
+        for clf in (
+            MLPClassifier(epochs=1),
+            RandomForestClassifier(n_estimators=2),
+            TNetClassifier(epochs=1),
+        ):
+            with pytest.raises(ValidationError):
+                clf.fit(X, y)
+
+    def test_separator_rejects_nan(self, rng):
+        X = rng.standard_normal((20, 3))
+        bad = rng.standard_normal((5, 3))
+        bad[0, 0] = np.inf
+        with pytest.raises(ValidationError):
+            FeatureSeparator().fit(X, bad)
+
+    def test_gan_rejects_nan(self, rng):
+        bad = rng.standard_normal((10, 3))
+        bad[0, 0] = np.nan
+        with pytest.raises(ValidationError):
+            ConditionalGAN(epochs=1, conditional=False).fit(
+                bad, rng.standard_normal((10, 2))
+            )
+
+
+class TestShapeMismatch:
+    def test_pipeline_feature_mismatch(self, rng):
+        pipe = FSGANPipeline(fast_mlp)
+        with pytest.raises(ValidationError):
+            pipe.fit(
+                rng.standard_normal((30, 5)),
+                rng.integers(0, 2, 30),
+                rng.standard_normal((4, 6)),
+            )
+
+    def test_method_feature_mismatch(self, rng):
+        method = SrcOnly(fast_mlp)
+        with pytest.raises(ValidationError):
+            method.fit(
+                rng.standard_normal((30, 5)),
+                rng.integers(0, 2, 30),
+                rng.standard_normal((4, 6)),
+                np.zeros(4, dtype=int),
+            )
+
+    def test_label_length_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            MLPClassifier(epochs=1).fit(
+                rng.standard_normal((10, 2)), np.zeros(9, dtype=int)
+            )
+
+
+class TestDegenerateData:
+    def test_constant_features_survive_pipeline(self, rng):
+        """Telemetry often has dead columns; nothing may divide by zero."""
+        X = rng.standard_normal((60, 4))
+        X[:, 2] = 5.0  # constant column
+        y = rng.integers(0, 2, 60)
+        X_few = rng.standard_normal((6, 4))
+        X_few[:, 2] = 5.0
+        fs = FSModel(fast_mlp).fit(X, y, X_few)
+        pred = fs.predict(X_few)
+        assert np.all(np.isfinite(pred.astype(float)))
+
+    def test_single_class_source_rejected_by_boosting(self, rng):
+        from repro.ml import GradientBoostingClassifier
+
+        with pytest.raises(ValidationError):
+            GradientBoostingClassifier().fit(
+                rng.standard_normal((10, 2)), np.zeros(10, dtype=int)
+            )
+
+    def test_gmm_more_components_than_samples(self, rng):
+        with pytest.raises(ValidationError):
+            GaussianMixture(10).fit(rng.standard_normal((4, 2)))
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(ValidationError):
+            MLPClassifier(epochs=1).fit(np.zeros((0, 3)), np.zeros(0))
+
+
+class TestUseBeforeFit:
+    @pytest.mark.parametrize(
+        "estimator, call",
+        [
+            (MinMaxScaler(), lambda e: e.transform([[1.0]])),
+            (MLPClassifier(), lambda e: e.predict([[1.0]])),
+            (RandomForestClassifier(), lambda e: e.predict([[1.0]])),
+            (FeatureSeparator(), lambda e: e.split(np.zeros((1, 2)))),
+            (ConditionalGAN(), lambda e: e.generate(np.zeros((1, 2)))),
+        ],
+    )
+    def test_not_fitted_errors(self, estimator, call):
+        with pytest.raises(NotFittedError):
+            call(estimator)
+
+
+class TestRegistryMisuse:
+    def test_specific_method_with_bad_kwargs(self):
+        with pytest.raises(TypeError):
+            build_method("dann", random_state=0, nonexistent_param=1)
+
+    def test_registry_validates_name_type(self):
+        with pytest.raises((ValidationError, AttributeError)):
+            build_method(12345, fast_mlp)

@@ -1,0 +1,157 @@
+"""Unit tests for the generative substrate: conditional GAN, CVAE, vanilla AE."""
+
+import numpy as np
+import pytest
+
+from repro.gan import ConditionalGAN, ConditionalVAE, VanillaAutoencoder
+from repro.ml import one_hot
+from repro.utils.errors import NotFittedError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def recon_problem():
+    """X_var is a noisy linear-tanh function of X_inv plus class effects."""
+    gen = np.random.default_rng(3)
+    n, d_inv, d_var, k = 600, 12, 5, 3
+    y = gen.integers(0, k, n)
+    X_inv = 0.6 * gen.standard_normal((n, d_inv))
+    W = 0.5 * gen.standard_normal((d_inv, d_var))
+    class_eff = 0.7 * gen.standard_normal((k, d_var))
+    X_var = np.tanh(X_inv @ W + class_eff[y] + 0.15 * gen.standard_normal((n, d_var)))
+    return X_inv, X_var, y
+
+
+class TestConditionalGAN:
+    def test_output_shape_and_range(self, recon_problem):
+        X_inv, X_var, y = recon_problem
+        gan = ConditionalGAN(noise_dim=4, hidden_size=32, epochs=5, random_state=0)
+        gan.fit(X_inv, X_var, one_hot(y))
+        out = gan.generate(X_inv[:10])
+        assert out.shape == (10, X_var.shape[1])
+        assert np.all(np.abs(out) <= 1.0)  # tanh output
+
+    def test_learns_marginal_statistics(self, recon_problem):
+        X_inv, X_var, y = recon_problem
+        gan = ConditionalGAN(noise_dim=4, hidden_size=64, epochs=150, random_state=0)
+        gan.fit(X_inv, X_var, one_hot(y))
+        out = gan.generate(X_inv)
+        np.testing.assert_allclose(out.mean(axis=0), X_var.mean(axis=0), atol=0.25)
+        np.testing.assert_allclose(out.std(axis=0), X_var.std(axis=0), atol=0.3)
+
+    def test_reconstruction_tracks_conditional(self, recon_problem):
+        X_inv, X_var, y = recon_problem
+        gan = ConditionalGAN(noise_dim=4, hidden_size=64, epochs=150, random_state=0)
+        gan.fit(X_inv, X_var, one_hot(y))
+        out = gan.generate(X_inv)
+        # generated values must correlate with the true conditional targets
+        corr = np.mean(
+            [np.corrcoef(out[:, j], X_var[:, j])[0, 1] for j in range(X_var.shape[1])]
+        )
+        assert corr > 0.3
+
+    def test_history_recorded(self, recon_problem):
+        X_inv, X_var, y = recon_problem
+        gan = ConditionalGAN(noise_dim=2, hidden_size=16, epochs=3, random_state=0)
+        gan.fit(X_inv, X_var, one_hot(y))
+        assert len(gan.history_["d_loss"]) == 3
+        assert len(gan.history_["g_loss"]) == 3
+
+    def test_conditional_requires_labels(self, recon_problem):
+        X_inv, X_var, _ = recon_problem
+        gan = ConditionalGAN(epochs=1)
+        with pytest.raises(ValidationError, match="y_onehot"):
+            gan.fit(X_inv, X_var)
+
+    def test_unconditional_mode(self, recon_problem):
+        X_inv, X_var, _ = recon_problem
+        gan = ConditionalGAN(
+            noise_dim=2, hidden_size=16, epochs=2, conditional=False, random_state=0
+        )
+        gan.fit(X_inv, X_var)
+        assert gan.generate(X_inv[:5]).shape == (5, X_var.shape[1])
+
+    def test_discriminate_scores_in_unit_interval(self, recon_problem):
+        X_inv, X_var, y = recon_problem
+        gan = ConditionalGAN(noise_dim=2, hidden_size=16, epochs=2, random_state=0)
+        gan.fit(X_inv, X_var, one_hot(y))
+        scores = gan.discriminate(X_inv[:20], X_var[:20], one_hot(y)[:20])
+        assert scores.shape == (20,)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_n_draws_averages(self, recon_problem):
+        X_inv, X_var, y = recon_problem
+        gan = ConditionalGAN(noise_dim=4, hidden_size=16, epochs=2, random_state=0)
+        gan.fit(X_inv, X_var, one_hot(y))
+        one = gan.generate(X_inv[:5], n_draws=1, random_state=0)
+        many = gan.generate(X_inv[:5], n_draws=20, random_state=0)
+        assert one.shape == many.shape
+
+    def test_generate_before_fit(self):
+        with pytest.raises(NotFittedError):
+            ConditionalGAN().generate(np.zeros((2, 3)))
+
+    def test_row_mismatch_rejected(self, recon_problem):
+        X_inv, X_var, y = recon_problem
+        with pytest.raises(ValidationError):
+            ConditionalGAN(epochs=1).fit(X_inv[:10], X_var[:9], one_hot(y[:9]))
+
+    def test_wrong_inference_width_rejected(self, recon_problem):
+        X_inv, X_var, y = recon_problem
+        gan = ConditionalGAN(noise_dim=2, hidden_size=16, epochs=1, random_state=0)
+        gan.fit(X_inv, X_var, one_hot(y))
+        with pytest.raises(ValidationError):
+            gan.generate(np.zeros((2, X_inv.shape[1] + 1)))
+
+
+class TestConditionalVAE:
+    def test_beats_trivial_baseline(self, recon_problem):
+        X_inv, X_var, y = recon_problem
+        vae = ConditionalVAE(latent_dim=4, hidden_size=64, epochs=120, random_state=0)
+        vae.fit(X_inv, X_var)
+        out = vae.generate(X_inv)
+        mse = np.mean((out - X_var) ** 2)
+        trivial = np.mean((X_var.mean(axis=0) - X_var) ** 2)
+        assert mse < trivial
+
+    def test_loss_decreases(self, recon_problem):
+        X_inv, X_var, _ = recon_problem
+        vae = ConditionalVAE(latent_dim=4, hidden_size=32, epochs=40, random_state=0)
+        vae.fit(X_inv, X_var)
+        assert vae.history_[-1] < vae.history_[0]
+
+    def test_generate_shape(self, recon_problem):
+        X_inv, X_var, _ = recon_problem
+        vae = ConditionalVAE(latent_dim=2, hidden_size=16, epochs=2, random_state=0)
+        vae.fit(X_inv, X_var)
+        assert vae.generate(X_inv[:7]).shape == (7, X_var.shape[1])
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValidationError):
+            ConditionalVAE(beta=-1.0)
+
+
+class TestVanillaAutoencoder:
+    def test_reconstruction_quality(self, recon_problem):
+        X_inv, X_var, _ = recon_problem
+        ae = VanillaAutoencoder(hidden_size=64, epochs=120, random_state=0)
+        ae.fit(X_inv, X_var)
+        out = ae.generate(X_inv)
+        mse = np.mean((out - X_var) ** 2)
+        trivial = np.mean((X_var.mean(axis=0) - X_var) ** 2)
+        assert mse < 0.7 * trivial
+
+    def test_deterministic_generation(self, recon_problem):
+        X_inv, X_var, _ = recon_problem
+        ae = VanillaAutoencoder(hidden_size=16, epochs=2, random_state=0)
+        ae.fit(X_inv, X_var)
+        np.testing.assert_array_equal(ae.generate(X_inv[:4]), ae.generate(X_inv[:4]))
+
+    def test_loss_decreases(self, recon_problem):
+        X_inv, X_var, _ = recon_problem
+        ae = VanillaAutoencoder(hidden_size=32, epochs=30, random_state=0)
+        ae.fit(X_inv, X_var)
+        assert ae.history_[-1] < ae.history_[0]
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            VanillaAutoencoder().generate(np.zeros((2, 3)))

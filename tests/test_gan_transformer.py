@@ -1,0 +1,149 @@
+"""Tests for the CTGAN-style tabular transformer and mixed-type GAN heads."""
+
+import numpy as np
+import pytest
+
+from repro.gan import TabularTransformer
+from repro.nn import BlockActivation, GumbelSoftmax, Tanh
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture()
+def mixed_table(rng):
+    """Two continuous columns (one bimodal) + one 3-level discrete column."""
+    n = 400
+    bimodal = np.where(rng.random(n) < 0.5,
+                       rng.normal(-4.0, 0.5, n), rng.normal(4.0, 0.5, n))
+    unimodal = rng.normal(10.0, 2.0, n)
+    discrete = rng.integers(0, 3, n).astype(float)
+    return np.column_stack([bimodal, unimodal, discrete])
+
+
+class TestTabularTransformer:
+    def test_round_trip_continuous(self, mixed_table):
+        tr = TabularTransformer(discrete_columns=(2,), random_state=0)
+        Z = tr.fit_transform(mixed_table)
+        back = tr.inverse_transform(Z)
+        np.testing.assert_allclose(back[:, 0], mixed_table[:, 0], atol=1e-6)
+        np.testing.assert_allclose(back[:, 1], mixed_table[:, 1], atol=1e-6)
+
+    def test_round_trip_discrete_exact(self, mixed_table):
+        tr = TabularTransformer(discrete_columns=(2,), random_state=0)
+        Z = tr.fit_transform(mixed_table)
+        back = tr.inverse_transform(Z)
+        np.testing.assert_array_equal(back[:, 2], mixed_table[:, 2])
+
+    def test_output_layout(self, mixed_table):
+        tr = TabularTransformer(discrete_columns=(2,), random_state=0)
+        tr.fit(mixed_table)
+        kinds = [(b.kind, b.column) for b in tr.output_info_]
+        # per continuous column: alpha + onehot; discrete column: onehot
+        assert ("alpha", 0) in kinds and ("alpha", 1) in kinds
+        assert ("onehot", 2) in kinds
+        assert tr.output_dim == sum(b.size for b in tr.output_info_)
+
+    def test_alpha_bounded(self, mixed_table):
+        tr = TabularTransformer(discrete_columns=(2,), random_state=0)
+        Z = tr.fit_transform(mixed_table)
+        alpha_cols = []
+        pos = 0
+        for block in tr.output_info_:
+            if block.kind == "alpha":
+                alpha_cols.append(pos)
+            pos += block.size
+        for c in alpha_cols:
+            assert np.all(np.abs(Z[:, c]) <= 1.0)
+
+    def test_bimodal_column_gets_multiple_modes(self, mixed_table):
+        tr = TabularTransformer(discrete_columns=(2,), random_state=0)
+        tr.fit(mixed_table)
+        kind, gmm = tr._column_models[0]
+        assert kind == "continuous"
+        assert gmm.n_components >= 2
+        means = np.sort(gmm.means_[:, 0])
+        assert means[0] < 0 < means[-1]
+
+    def test_unseen_category_rejected(self, mixed_table):
+        tr = TabularTransformer(discrete_columns=(2,), random_state=0)
+        tr.fit(mixed_table)
+        bad = mixed_table.copy()
+        bad[0, 2] = 9.0
+        with pytest.raises(ValidationError, match="unseen"):
+            tr.transform(bad)
+
+    def test_width_mismatches_rejected(self, mixed_table):
+        tr = TabularTransformer(discrete_columns=(2,), random_state=0)
+        tr.fit(mixed_table)
+        with pytest.raises(ValidationError):
+            tr.transform(mixed_table[:, :2])
+        with pytest.raises(ValidationError):
+            tr.inverse_transform(np.zeros((3, tr.output_dim + 1)))
+
+    def test_discrete_column_index_checked(self, mixed_table):
+        with pytest.raises(ValidationError):
+            TabularTransformer(discrete_columns=(7,)).fit(mixed_table)
+
+
+class TestGumbelSoftmax:
+    def test_inference_is_tempered_softmax(self, rng):
+        layer = GumbelSoftmax(temperature=0.5, random_state=0)
+        x = rng.standard_normal((6, 4))
+        out = layer.forward(x, training=False)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+        # lower temperature sharpens towards one-hot
+        sharp = GumbelSoftmax(temperature=0.1).forward(x, training=False)
+        assert sharp.max(axis=1).mean() > out.max(axis=1).mean()
+
+    def test_training_samples_vary(self, rng):
+        layer = GumbelSoftmax(temperature=0.5, random_state=0)
+        x = np.zeros((4, 3))
+        a = layer.forward(x, training=True)
+        b = layer.forward(x, training=True)
+        assert not np.allclose(a, b)
+
+    def test_gradient_matches_numeric(self, rng):
+        layer = GumbelSoftmax(temperature=0.7, random_state=0)
+        x = rng.standard_normal((5, 4))
+        out = layer.forward(x, training=False)
+        analytic = layer.backward(np.ones_like(out))
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for i in range(x.shape[0]):
+            for j in range(x.shape[1]):
+                xp = x.copy(); xp[i, j] += eps
+                xm = x.copy(); xm[i, j] -= eps
+                numeric[i, j] = (
+                    layer.forward(xp, training=False).sum()
+                    - layer.forward(xm, training=False).sum()
+                ) / (2 * eps)
+        layer.forward(x, training=False)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_rejects_bad_temperature(self):
+        with pytest.raises(ValidationError):
+            GumbelSoftmax(temperature=0.0)
+
+
+class TestBlockActivation:
+    def test_applies_per_block(self, rng):
+        layer = BlockActivation([(2, Tanh()), (3, GumbelSoftmax(random_state=0))])
+        x = rng.standard_normal((5, 5)) * 3
+        out = layer.forward(x, training=False)
+        np.testing.assert_allclose(out[:, :2], np.tanh(x[:, :2]))
+        np.testing.assert_allclose(out[:, 2:].sum(axis=1), 1.0)
+
+    def test_backward_routes_gradients(self, rng):
+        layer = BlockActivation([(2, Tanh()), (2, Tanh())])
+        x = rng.standard_normal((4, 4))
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(out))
+        np.testing.assert_allclose(grad, 1.0 - np.tanh(x) ** 2)
+
+    def test_width_checked(self, rng):
+        layer = BlockActivation([(2, Tanh())])
+        with pytest.raises(ValidationError):
+            layer.forward(rng.standard_normal((3, 5)))
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(ValidationError):
+            BlockActivation([])

@@ -1,0 +1,106 @@
+"""End-to-end integration tests asserting the paper's qualitative results
+(the "shape" targets listed in DESIGN.md §4) on the small benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.core import FSGANPipeline, FSModel, ReconstructionConfig
+from repro.ml import MLPClassifier, MinMaxScaler, cross_val_f1, macro_f1
+
+
+def fast_mlp():
+    return MLPClassifier(hidden_sizes=(64,), epochs=40, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def scenario(tiny_5gc):
+    """SrcOnly reference numbers computed once for the module."""
+    X_few, y_few, X_test, y_test = tiny_5gc.few_shot_split(5, random_state=0)
+    scaler = MinMaxScaler().fit(tiny_5gc.X_source)
+    src_model = fast_mlp().fit(scaler.transform(tiny_5gc.X_source), tiny_5gc.y_source)
+    srconly_f1 = macro_f1(y_test, src_model.predict(scaler.transform(X_test)))
+    return {
+        "bench": tiny_5gc,
+        "few": (X_few, y_few),
+        "test": (X_test, y_test),
+        "srconly": srconly_f1,
+    }
+
+
+class TestDriftCollapse:
+    def test_in_domain_vs_cross_domain_gap(self, scenario):
+        """SrcOnly: high in-domain CV, collapse on target (§VI-B)."""
+        bench = scenario["bench"]
+        in_domain = cross_val_f1(
+            fast_mlp,
+            MinMaxScaler().fit_transform(bench.X_source),
+            bench.y_source,
+            n_splits=3,
+            random_state=0,
+        )
+        # at this reduced sample budget the absolute in-domain CV score is
+        # lower than the paper's >0.98 (3,645 samples) and the collapse gap
+        # smaller than the paper's ~80 points; only the direction and a
+        # clear margin are asserted here — the benchmark harness measures
+        # the full-scale gap
+        assert in_domain > 0.7
+        assert scenario["srconly"] < in_domain - 0.05
+
+
+class TestOurMethods:
+    def test_fs_large_improvement(self, scenario):
+        bench = scenario["bench"]
+        X_few, _ = scenario["few"]
+        X_test, y_test = scenario["test"]
+        fs = FSModel(fast_mlp).fit(bench.X_source, bench.y_source, X_few)
+        fs_f1 = macro_f1(y_test, fs.predict(X_test))
+        assert fs_f1 > scenario["srconly"] + 0.1
+
+    def test_fsgan_large_improvement(self, scenario):
+        bench = scenario["bench"]
+        X_few, _ = scenario["few"]
+        X_test, y_test = scenario["test"]
+        pipe = FSGANPipeline(
+            fast_mlp,
+            reconstruction_config=ReconstructionConfig(
+                epochs=300, hidden_size=128, noise_dim=6
+            ),
+            random_state=0,
+        )
+        pipe.fit(bench.X_source, bench.y_source, X_few)
+        f1 = macro_f1(y_test, pipe.predict(X_test))
+        assert f1 > scenario["srconly"] + 0.1
+
+    def test_fs_improves_with_shots(self, scenario):
+        """FS identifies more variants (and stays strong) with more shots."""
+        bench = scenario["bench"]
+        n_variant = []
+        for shots in (1, 10):
+            X_few, _, _, _ = bench.few_shot_split(shots, random_state=3)
+            fs = FSModel(fast_mlp).fit(bench.X_source, bench.y_source, X_few)
+            n_variant.append(fs.n_variant_)
+        assert n_variant[0] <= n_variant[1]
+
+
+class TestVarianceAcrossSelections:
+    def test_fs_variance_small(self, scenario):
+        """§VI-C: results stable across random target selections (±2.6 F1)."""
+        bench = scenario["bench"]
+        scores = []
+        for seed in range(3):
+            X_few, _, X_test, y_test = bench.few_shot_split(5, random_state=seed)
+            fs = FSModel(fast_mlp).fit(bench.X_source, bench.y_source, X_few)
+            scores.append(macro_f1(y_test, fs.predict(X_test)))
+        assert np.ptp(scores) < 0.12
+
+
+class TestBinaryTask:
+    def test_5gipc_fault_detection(self, tiny_5gipc):
+        X_few, _, X_test, y_test = tiny_5gipc.few_shot_split(5, random_state=0)
+        scaler = MinMaxScaler().fit(tiny_5gipc.X_source)
+        src = fast_mlp().fit(
+            scaler.transform(tiny_5gipc.X_source), tiny_5gipc.y_source
+        )
+        srconly = macro_f1(y_test, src.predict(scaler.transform(X_test)))
+        fs = FSModel(fast_mlp).fit(tiny_5gipc.X_source, tiny_5gipc.y_source, X_few)
+        assert macro_f1(y_test, fs.predict(X_test)) > srconly

@@ -1,0 +1,121 @@
+"""Unit tests for the Gaussian mixture model and FastICA."""
+
+import numpy as np
+import pytest
+
+from repro.ml import FastICA, GaussianMixture, split_domains_by_gmm
+from repro.utils.errors import NotFittedError, ValidationError
+
+
+def two_cluster_data(rng, n1=200, n2=80, d=3):
+    a = rng.standard_normal((n1, d)) + 5.0
+    b = rng.standard_normal((n2, d)) - 5.0
+    return np.vstack([a, b])
+
+
+class TestGaussianMixture:
+    def test_recovers_two_clusters(self, rng):
+        X = two_cluster_data(rng)
+        gmm = GaussianMixture(2, random_state=0).fit(X)
+        labels = gmm.predict(X)
+        # each true cluster maps to a single component
+        assert len(set(labels[:200])) == 1
+        assert len(set(labels[200:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_means_near_truth(self, rng):
+        X = two_cluster_data(rng)
+        gmm = GaussianMixture(2, random_state=0).fit(X)
+        means = np.sort(gmm.means_[:, 0])
+        np.testing.assert_allclose(means, [-5.0, 5.0], atol=0.5)
+
+    def test_weights_reflect_sizes(self, rng):
+        X = two_cluster_data(rng, n1=300, n2=100)
+        gmm = GaussianMixture(2, random_state=0).fit(X)
+        np.testing.assert_allclose(np.sort(gmm.weights_), [0.25, 0.75], atol=0.05)
+
+    def test_posterior_rows_sum_to_one(self, rng):
+        X = two_cluster_data(rng)
+        gmm = GaussianMixture(2, random_state=0).fit(X)
+        np.testing.assert_allclose(gmm.predict_proba(X).sum(axis=1), 1.0)
+
+    def test_score_higher_on_fit_data(self, rng):
+        X = two_cluster_data(rng)
+        gmm = GaussianMixture(2, random_state=0).fit(X)
+        assert gmm.score(X) > gmm.score(X + 20.0)
+
+    def test_sampling_matches_means(self, rng):
+        X = two_cluster_data(rng)
+        gmm = GaussianMixture(2, random_state=0).fit(X)
+        samples, comps = gmm.sample(500, random_state=1)
+        assert samples.shape == (500, 3)
+        assert set(comps.tolist()) == {0, 1}
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(ValidationError):
+            GaussianMixture(5).fit(np.zeros((3, 2)))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            GaussianMixture(2).predict(np.zeros((2, 2)))
+
+    def test_single_component_degenerates_to_gaussian(self, rng):
+        X = rng.standard_normal((100, 2)) + 3
+        gmm = GaussianMixture(1, random_state=0).fit(X)
+        np.testing.assert_allclose(gmm.means_[0], X.mean(axis=0), atol=1e-6)
+
+
+class TestSplitDomains:
+    def test_largest_cluster_first(self, rng):
+        X = two_cluster_data(rng, n1=300, n2=100)
+        groups = split_domains_by_gmm(X, n_domains=2, random_state=0)
+        assert len(groups[0]) > len(groups[1])
+        assert len(groups[0]) + len(groups[1]) == 400
+
+    def test_indices_partition(self, rng):
+        X = two_cluster_data(rng)
+        groups = split_domains_by_gmm(X, n_domains=2, random_state=0)
+        all_idx = np.sort(np.concatenate(groups))
+        np.testing.assert_array_equal(all_idx, np.arange(len(X)))
+
+
+class TestFastICA:
+    def test_recovers_independent_sources(self, rng):
+        n = 2000
+        s1 = rng.uniform(-1, 1, n)  # non-Gaussian sources
+        s2 = np.sign(rng.standard_normal(n)) * rng.uniform(0.5, 1.0, n)
+        S = np.column_stack([s1, s2])
+        A = np.array([[1.0, 0.6], [0.4, 1.0]])
+        X = S @ A.T
+        ica = FastICA(2, random_state=0).fit(X)
+        S_hat = ica.transform(X)
+        # each recovered component should correlate strongly with one source
+        corr = np.abs(np.corrcoef(S.T, S_hat.T)[:2, 2:])
+        assert corr.max(axis=1).min() > 0.9
+
+    def test_round_trip(self, rng):
+        X = rng.standard_normal((200, 4)) @ rng.standard_normal((4, 4))
+        ica = FastICA(random_state=0).fit(X)
+        back = ica.inverse_transform(ica.transform(X))
+        np.testing.assert_allclose(back, X, atol=1e-6)
+
+    def test_components_whitened(self, rng):
+        X = rng.standard_normal((500, 3)) * np.array([5.0, 1.0, 0.2])
+        S = FastICA(random_state=0).fit_transform(X)
+        cov = np.cov(S, rowvar=False)
+        np.testing.assert_allclose(cov, np.eye(S.shape[1]), atol=0.1)
+
+    def test_rank_deficient_input(self, rng):
+        base = rng.standard_normal((100, 2))
+        X = np.column_stack([base, base[:, 0] + base[:, 1]])  # rank 2
+        ica = FastICA(random_state=0).fit(X)
+        assert ica.unmixing_.shape[0] == 2
+
+    def test_rejects_component_mismatch(self, rng):
+        ica = FastICA(2, random_state=0).fit(rng.standard_normal((50, 3)))
+        with pytest.raises(ValidationError):
+            ica.inverse_transform(np.zeros((5, 3)))
+
+    def test_zero_variance_rejected(self):
+        with pytest.raises(ValidationError):
+            FastICA().fit(np.zeros((10, 3)))

@@ -1,0 +1,118 @@
+"""Unit + property tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    macro_f1,
+    precision_recall_f1,
+)
+from repro.utils.errors import ValidationError
+
+label_pairs = st.integers(2, 60).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, 4), min_size=n, max_size=n),
+        st.lists(st.integers(0, 4), min_size=n, max_size=n),
+    )
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_half(self):
+        assert accuracy_score([1, 1, 0, 0], [1, 0, 0, 1]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            accuracy_score([], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            accuracy_score([1, 2], [1])
+
+
+class TestConfusionMatrix:
+    def test_values(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(cm, [[1, 1], [0, 2]])
+
+    def test_row_sums_are_class_counts(self):
+        y_true = [0, 0, 1, 2, 2, 2]
+        cm = confusion_matrix(y_true, [0, 1, 1, 2, 0, 2])
+        np.testing.assert_array_equal(cm.sum(axis=1), [2, 1, 3])
+
+    def test_explicit_labels_order(self):
+        cm = confusion_matrix([1, 0], [1, 0], labels=[1, 0])
+        np.testing.assert_array_equal(cm, [[1, 0], [0, 1]])
+
+
+class TestF1:
+    def test_perfect_macro(self):
+        assert macro_f1([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_known_binary_value(self):
+        # TP=2, FP=1, FN=1 → P=2/3, R=2/3, F1=2/3
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        assert f1_score(y_true, y_pred, average="binary") == pytest.approx(2 / 3)
+
+    def test_micro_equals_accuracy(self):
+        y_true = [0, 1, 2, 2, 1]
+        y_pred = [0, 2, 2, 1, 1]
+        assert f1_score(y_true, y_pred, average="micro") == accuracy_score(y_true, y_pred)
+
+    def test_weighted_vs_macro_on_imbalance(self):
+        y_true = [0] * 9 + [1]
+        y_pred = [0] * 10
+        assert f1_score(y_true, y_pred, average="weighted") > macro_f1(y_true, y_pred)
+
+    def test_unknown_average(self):
+        with pytest.raises(ValidationError):
+            f1_score([0, 1], [0, 1], average="nope")
+
+    def test_binary_requires_two_classes(self):
+        with pytest.raises(ValidationError):
+            f1_score([0, 1, 2], [0, 1, 2], average="binary")
+
+    @settings(max_examples=50, deadline=None)
+    @given(label_pairs)
+    def test_bounds_property(self, pair):
+        y_true, y_pred = pair
+        value = macro_f1(y_true, y_pred)
+        assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(label_pairs)
+    def test_permutation_invariance(self, pair):
+        y_true, y_pred = np.array(pair[0]), np.array(pair[1])
+        perm = np.random.default_rng(0).permutation(len(y_true))
+        assert macro_f1(y_true, y_pred) == pytest.approx(
+            macro_f1(y_true[perm], y_pred[perm])
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 4), min_size=2, max_size=40))
+    def test_perfect_prediction_is_one(self, labels):
+        assert macro_f1(labels, labels) == 1.0
+
+
+class TestPrecisionRecall:
+    def test_all_zero_when_never_predicted(self):
+        precision, recall, f1 = precision_recall_f1([0, 0, 1], [0, 0, 0])
+        assert precision[1] == 0.0 and recall[1] == 0.0 and f1[1] == 0.0
+
+    def test_report_contains_classes(self):
+        report = classification_report([0, 1, 1], [0, 1, 0], target_names=["ok", "fault"])
+        assert "ok" in report and "fault" in report and "macro avg" in report
+
+    def test_report_rejects_bad_names(self):
+        with pytest.raises(ValidationError):
+            classification_report([0, 1], [0, 1], target_names=["one"])

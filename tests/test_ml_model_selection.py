@@ -1,0 +1,105 @@
+"""Unit tests for splitting utilities and the few-shot protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    cross_val_f1,
+    sample_few_shot,
+    stratified_kfold_indices,
+    train_test_split,
+)
+from repro.ml.tree import DecisionTreeClassifier
+from repro.utils.errors import ValidationError
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, blob_data):
+        X, y, _, _ = blob_data
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.25, random_state=0)
+        assert len(X_te) == pytest.approx(0.25 * len(X), abs=2)
+        assert len(X_tr) + len(X_te) == len(X)
+
+    def test_stratified_keeps_all_classes(self, blob_data):
+        X, y, _, _ = blob_data
+        _, _, _, y_te = train_test_split(X, y, test_size=0.2, stratify=True, random_state=0)
+        assert set(y_te.tolist()) == set(y.tolist())
+
+    def test_deterministic(self, blob_data):
+        X, y, _, _ = blob_data
+        a = train_test_split(X, y, random_state=1)[1]
+        b = train_test_split(X, y, random_state=1)[1]
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_test_size(self, blob_data):
+        X, y, _, _ = blob_data
+        with pytest.raises(ValidationError):
+            train_test_split(X, y, test_size=1.5)
+
+
+class TestStratifiedKFold:
+    def test_folds_partition(self):
+        y = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2, 2])
+        splits = stratified_kfold_indices(y, n_splits=2, random_state=0)
+        assert len(splits) == 2
+        test_union = np.sort(np.concatenate([te for _, te in splits]))
+        np.testing.assert_array_equal(test_union, np.arange(10))
+
+    def test_train_test_disjoint(self):
+        y = np.arange(12) % 3
+        for train, test in stratified_kfold_indices(y, n_splits=3, random_state=0):
+            assert len(np.intersect1d(train, test)) == 0
+
+    def test_rejects_one_split(self):
+        with pytest.raises(ValidationError):
+            stratified_kfold_indices(np.zeros(4), n_splits=1)
+
+
+class TestSampleFewShot:
+    def test_exact_counts(self, blob_data):
+        X, y, _, _ = blob_data
+        X_few, y_few, idx = sample_few_shot(X, y, shots=3, random_state=0)
+        assert len(X_few) == 3 * len(set(y.tolist()))
+        for label in set(y.tolist()):
+            assert np.sum(y_few == label) == 3
+
+    def test_rare_class_contributes_everything(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = np.array([0] * 8 + [1] * 2)
+        _, y_few, _ = sample_few_shot(X, y, shots=5, random_state=0)
+        assert np.sum(y_few == 1) == 2
+        assert np.sum(y_few == 0) == 5
+
+    def test_indices_consistent(self, blob_data):
+        X, y, _, _ = blob_data
+        X_few, y_few, idx = sample_few_shot(X, y, shots=2, random_state=0)
+        np.testing.assert_array_equal(X[idx], X_few)
+        np.testing.assert_array_equal(y[idx], y_few)
+
+    def test_rejects_zero_shots(self, blob_data):
+        X, y, _, _ = blob_data
+        with pytest.raises(ValidationError):
+            sample_few_shot(X, y, shots=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 5), st.integers(0, 1000))
+    def test_counts_property(self, shots, seed):
+        gen = np.random.default_rng(seed)
+        y = gen.integers(0, 3, 60)
+        X = gen.standard_normal((60, 2))
+        _, y_few, idx = sample_few_shot(X, y, shots=shots, random_state=seed)
+        assert len(np.unique(idx)) == len(idx)  # no duplicates
+        for label in np.unique(y):
+            assert np.sum(y_few == label) == min(shots, np.sum(y == label))
+
+
+class TestCrossValF1:
+    def test_high_on_separable(self, blob_data):
+        X, y, _, _ = blob_data
+        score = cross_val_f1(
+            lambda: DecisionTreeClassifier(random_state=0), X, y,
+            n_splits=3, random_state=0,
+        )
+        assert score > 0.9

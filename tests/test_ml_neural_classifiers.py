@@ -1,0 +1,112 @@
+"""Unit tests for MLPClassifier and TNetClassifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MLPClassifier, TNetClassifier, accuracy_score
+from repro.utils.errors import NotFittedError, ValidationError
+
+
+class TestMLPClassifier:
+    def test_learns_blobs(self, blob_data):
+        X, y, X_test, y_test = blob_data
+        clf = MLPClassifier(hidden_sizes=(32,), epochs=40, random_state=0).fit(X, y)
+        assert accuracy_score(y_test, clf.predict(X_test)) > 0.9
+
+    def test_loss_decreases(self, blob_data):
+        X, y, _, _ = blob_data
+        clf = MLPClassifier(hidden_sizes=(32,), epochs=30, random_state=0).fit(X, y)
+        assert clf.loss_curve_[-1] < clf.loss_curve_[0]
+
+    def test_proba_sums_to_one(self, blob_data):
+        X, y, X_test, _ = blob_data
+        clf = MLPClassifier(epochs=5, random_state=0).fit(X, y)
+        np.testing.assert_allclose(clf.predict_proba(X_test).sum(axis=1), 1.0)
+
+    def test_deterministic_given_seed(self, blob_data):
+        X, y, X_test, _ = blob_data
+        p1 = MLPClassifier(epochs=10, random_state=3).fit(X, y).predict(X_test)
+        p2 = MLPClassifier(epochs=10, random_state=3).fit(X, y).predict(X_test)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_string_labels_round_trip(self):
+        X = np.vstack([np.zeros((20, 2)), np.ones((20, 2)) * 5])
+        y = np.array(["normal"] * 20 + ["fault"] * 20)
+        clf = MLPClassifier(epochs=30, random_state=0).fit(X, y)
+        assert set(clf.predict(X)) <= {"normal", "fault"}
+
+    def test_fine_tune_improves_on_shifted_data(self, blob_data):
+        X, y, X_test, y_test = blob_data
+        shift = 3.0 * np.ones(X.shape[1])
+        clf = MLPClassifier(hidden_sizes=(32,), epochs=40, random_state=0).fit(X, y)
+        before = accuracy_score(y_test, clf.predict(X_test + shift))
+        clf.fine_tune(X + shift, y, epochs=40)
+        after = accuracy_score(y_test, clf.predict(X_test + shift))
+        assert after >= before
+
+    def test_fine_tune_rejects_unseen_labels(self, blob_data):
+        X, y, _, _ = blob_data
+        clf = MLPClassifier(epochs=2, random_state=0).fit(X, y)
+        with pytest.raises(ValidationError, match="unseen"):
+            clf.fine_tune(X[:4], np.array([99, 99, 99, 99]))
+
+    def test_fine_tune_before_fit(self, blob_data):
+        X, y, _, _ = blob_data
+        with pytest.raises(NotFittedError):
+            MLPClassifier().fine_tune(X, y)
+
+    def test_sample_weight_shifts_decisions(self, blob_data):
+        X, y, X_test, _ = blob_data
+        w = np.where(y == 1, 500.0, 1.0)
+        clf = MLPClassifier(hidden_sizes=(16,), epochs=40, random_state=0)
+        clf.fit(X, y, sample_weight=w)
+        assert np.mean(clf.predict(X_test) == 1) > 0.4
+
+    def test_rejects_empty_hidden(self):
+        with pytest.raises(ValidationError):
+            MLPClassifier(hidden_sizes=())
+
+
+class TestTNetClassifier:
+    def test_learns_blobs(self, blob_data):
+        X, y, X_test, y_test = blob_data
+        clf = TNetClassifier(width=32, epochs=40, random_state=0).fit(X, y)
+        assert accuracy_score(y_test, clf.predict(X_test)) > 0.9
+
+    def test_feature_importances_shape_and_range(self, blob_data):
+        X, y, _, _ = blob_data
+        clf = TNetClassifier(width=16, epochs=5, random_state=0).fit(X, y)
+        gates = clf.feature_importances()
+        assert gates.shape == (X.shape[1],)
+        assert np.all((gates > 0) & (gates < 1))
+
+    def test_gate_suppresses_noise_features(self, rng):
+        # one informative feature + five pure-noise features
+        n = 300
+        y = rng.integers(0, 2, n)
+        X = np.column_stack([3.0 * y + 0.3 * rng.standard_normal(n),
+                             rng.standard_normal((n, 5)).reshape(n, 5)])
+        clf = TNetClassifier(width=16, epochs=60, random_state=0).fit(X, y)
+        gates = clf.feature_importances()
+        assert gates[0] > gates[1:].mean()
+
+    def test_proba_sums_to_one(self, blob_data):
+        X, y, X_test, _ = blob_data
+        clf = TNetClassifier(width=16, epochs=5, random_state=0).fit(X, y)
+        np.testing.assert_allclose(clf.predict_proba(X_test).sum(axis=1), 1.0)
+
+    def test_deterministic_given_seed(self, blob_data):
+        X, y, X_test, _ = blob_data
+        p1 = TNetClassifier(width=16, epochs=8, random_state=1).fit(X, y).predict(X_test)
+        p2 = TNetClassifier(width=16, epochs=8, random_state=1).fit(X, y).predict(X_test)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValidationError):
+            TNetClassifier(width=0)
+
+    def test_feature_count_checked(self, blob_data):
+        X, y, _, _ = blob_data
+        clf = TNetClassifier(width=16, epochs=2, random_state=0).fit(X, y)
+        with pytest.raises(ValidationError):
+            clf.predict(np.zeros((2, X.shape[1] + 2)))

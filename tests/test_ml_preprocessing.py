@@ -1,0 +1,129 @@
+"""Unit + property tests for scalers and encoders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml import LabelEncoder, MinMaxScaler, OneHotEncoder, StandardScaler, one_hot
+from repro.utils.errors import NotFittedError, ValidationError
+
+finite_matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 20), st.integers(1, 6)),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestMinMaxScaler:
+    def test_range(self, rng):
+        X = rng.standard_normal((50, 4)) * 10
+        out = MinMaxScaler().fit_transform(X)
+        assert out.min() >= -1.0 - 1e-12
+        assert out.max() <= 1.0 + 1e-12
+        np.testing.assert_allclose(out.min(axis=0), -1.0)
+        np.testing.assert_allclose(out.max(axis=0), 1.0)
+
+    def test_constant_feature_maps_to_midpoint(self):
+        X = np.column_stack([np.full(5, 7.0), np.arange(5.0)])
+        out = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(out[:, 0], 0.0)
+
+    def test_custom_range(self, rng):
+        X = rng.standard_normal((20, 2))
+        out = MinMaxScaler(feature_range=(0.0, 1.0)).fit_transform(X)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_rejects_degenerate_range(self):
+        with pytest.raises(ValidationError):
+            MinMaxScaler(feature_range=(1.0, 1.0))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform([[1.0]])
+
+    def test_out_of_range_inputs_extrapolate(self):
+        scaler = MinMaxScaler().fit([[0.0], [10.0]])
+        assert scaler.transform([[20.0]])[0, 0] == pytest.approx(3.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(finite_matrices)
+    def test_round_trip_property(self, X):
+        scaler = MinMaxScaler().fit(X)
+        back = scaler.inverse_transform(scaler.transform(X))
+        np.testing.assert_allclose(back, X, atol=1e-6 * (1 + np.abs(X).max()))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.standard_normal((100, 3)) * 4 + 2
+        out = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_safe(self):
+        X = np.column_stack([np.full(5, 3.0), np.arange(5.0)])
+        out = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(out[:, 0], 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(finite_matrices)
+    def test_round_trip_property(self, X):
+        scaler = StandardScaler().fit(X)
+        back = scaler.inverse_transform(scaler.transform(X))
+        np.testing.assert_allclose(back, X, atol=1e-6 * (1 + np.abs(X).max()))
+
+    def test_feature_count_check(self, rng):
+        scaler = StandardScaler().fit(rng.standard_normal((5, 3)))
+        with pytest.raises(ValidationError):
+            scaler.transform(rng.standard_normal((5, 4)))
+
+
+class TestLabelEncoder:
+    def test_round_trip(self):
+        enc = LabelEncoder()
+        labels = np.array(["b", "a", "c", "a"])
+        codes = enc.fit_transform(labels)
+        np.testing.assert_array_equal(enc.inverse_transform(codes), labels)
+
+    def test_codes_contiguous(self):
+        codes = LabelEncoder().fit_transform([10, 20, 10, 30])
+        assert sorted(set(codes.tolist())) == [0, 1, 2]
+
+    def test_unseen_label(self):
+        enc = LabelEncoder().fit([1, 2])
+        with pytest.raises(ValidationError, match="unseen"):
+            enc.transform([3])
+
+    def test_out_of_range_codes(self):
+        enc = LabelEncoder().fit([1, 2])
+        with pytest.raises(ValidationError):
+            enc.inverse_transform([5])
+
+
+class TestOneHot:
+    def test_encoder_shape(self):
+        out = OneHotEncoder().fit_transform(np.array([0, 2, 1]))
+        assert out.shape == (3, 3)
+        np.testing.assert_array_equal(out.sum(axis=1), 1.0)
+
+    def test_encoder_rejects_unseen(self):
+        enc = OneHotEncoder().fit(np.array([0, 1]))
+        with pytest.raises(ValidationError):
+            enc.transform(np.array([2]))
+
+    def test_functional_one_hot(self):
+        out = one_hot([1, 0], 3)
+        np.testing.assert_array_equal(out, [[0, 1, 0], [1, 0, 0]])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            OneHotEncoder().fit(np.array([-1, 0]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=50))
+    def test_one_hot_argmax_inverts(self, labels):
+        y = np.array(labels)
+        encoded = one_hot(y, 10)
+        np.testing.assert_array_equal(np.argmax(encoded, axis=1), y)

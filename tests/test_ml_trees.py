@@ -1,0 +1,172 @@
+"""Unit tests for decision trees, random forest and gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    GradientBoostingClassifier,
+    RandomForestClassifier,
+    RegressionTree,
+    accuracy_score,
+)
+from repro.utils.errors import NotFittedError, ValidationError
+
+
+class TestDecisionTree:
+    def test_fits_and_pattern_with_depth_two(self):
+        # greedy CART cannot split XOR (zero first-level gini decrease),
+        # but learns AND exactly with two levels
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]] * 10, dtype=float)
+        y = np.array([0, 0, 0, 1] * 10)
+        tree = DecisionTreeClassifier(max_depth=2, random_state=0)
+        tree.fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) == 1.0
+
+    def test_single_split_threshold(self):
+        X = np.array([[1.0], [2.0], [3.0], [10.0], [11.0], [12.0]])
+        y = np.array([0, 0, 0, 1, 1, 1])
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert tree.depth() == 1
+        assert tree.root_.threshold == pytest.approx(6.5)
+
+    def test_max_depth_respected(self, blob_data):
+        X, y, _, _ = blob_data
+        tree = DecisionTreeClassifier(max_depth=2, random_state=0).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf(self, blob_data):
+        X, y, _, _ = blob_data
+        tree = DecisionTreeClassifier(min_samples_leaf=20, random_state=0).fit(X, y)
+
+        def check(node):
+            if node.is_leaf:
+                assert node.n_samples >= 20
+            else:
+                check(node.left)
+                check(node.right)
+
+        check(tree.root_)
+
+    def test_predict_proba_rows_sum_to_one(self, blob_data):
+        X, y, X_test, _ = blob_data
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        np.testing.assert_allclose(tree.predict_proba(X_test).sum(axis=1), 1.0)
+
+    def test_pure_node_stops(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert tree.depth() == 0
+
+    def test_deterministic_given_seed(self, blob_data):
+        X, y, X_test, _ = blob_data
+        pred1 = DecisionTreeClassifier(max_features="sqrt", random_state=5).fit(X, y).predict(X_test)
+        pred2 = DecisionTreeClassifier(max_features="sqrt", random_state=5).fit(X, y).predict(X_test)
+        np.testing.assert_array_equal(pred1, pred2)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict([[1.0]])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(max_depth=0)
+
+    def test_string_labels(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array(["ok", "ok", "fault", "fault"])
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert tree.predict([[12.0]])[0] == "fault"
+
+
+class TestRandomForest:
+    def test_beats_chance_on_blobs(self, blob_data):
+        X, y, X_test, y_test = blob_data
+        forest = RandomForestClassifier(n_estimators=15, random_state=0).fit(X, y)
+        assert accuracy_score(y_test, forest.predict(X_test)) > 0.9
+
+    def test_proba_shape_and_sum(self, blob_data):
+        X, y, X_test, _ = blob_data
+        forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        proba = forest.predict_proba(X_test)
+        assert proba.shape == (len(X_test), 4)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_sample_weight_shifts_predictions(self, blob_data):
+        X, y, X_test, _ = blob_data
+        w = np.where(y == 0, 1000.0, 1.0)
+        forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y, sample_weight=w)
+        # class 0 dominates the bootstrap, so most predictions collapse to it
+        assert np.mean(forest.predict(X_test) == 0) > 0.8
+
+    def test_rejects_negative_weights(self, blob_data):
+        X, y, _, _ = blob_data
+        with pytest.raises(ValidationError):
+            RandomForestClassifier(n_estimators=2).fit(X, y, sample_weight=-np.ones(len(y)))
+
+    def test_feature_count_checked_at_predict(self, blob_data):
+        X, y, _, _ = blob_data
+        forest = RandomForestClassifier(n_estimators=2, random_state=0).fit(X, y)
+        with pytest.raises(ValidationError):
+            forest.predict(np.zeros((2, X.shape[1] + 1)))
+
+
+class TestRegressionTree:
+    def test_constant_leaf_value_is_newton_step(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        g = np.array([3.0, 3.0, 3.0])
+        h = np.array([1.0, 1.0, 1.0])
+        tree = RegressionTree(max_depth=1, reg_lambda=0.0, random_state=0).fit(X, g, h)
+        np.testing.assert_allclose(tree.predict(X), -3.0)
+
+    def test_splits_on_gradient_structure(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        g = np.array([1.0, 1.0, -1.0, -1.0])
+        h = np.ones(4)
+        tree = RegressionTree(max_depth=2, random_state=0).fit(X, g, h)
+        pred = tree.predict(X)
+        assert pred[0] < 0 < pred[2]
+
+    def test_rejects_mismatched_g_h(self):
+        with pytest.raises(ValidationError):
+            RegressionTree().fit(np.zeros((3, 1)), np.zeros(2), np.zeros(3))
+
+
+class TestGradientBoosting:
+    def test_beats_chance_on_blobs(self, blob_data):
+        X, y, X_test, y_test = blob_data
+        clf = GradientBoostingClassifier(n_estimators=8, random_state=0).fit(X, y)
+        assert accuracy_score(y_test, clf.predict(X_test)) > 0.9
+
+    def test_binary_classification(self, binary_blob_data):
+        X, y, X_test, y_test = binary_blob_data
+        clf = GradientBoostingClassifier(n_estimators=8, random_state=0).fit(X, y)
+        assert accuracy_score(y_test, clf.predict(X_test)) > 0.9
+
+    def test_proba_sums_to_one(self, blob_data):
+        X, y, X_test, _ = blob_data
+        clf = GradientBoostingClassifier(n_estimators=4, random_state=0).fit(X, y)
+        np.testing.assert_allclose(clf.predict_proba(X_test).sum(axis=1), 1.0)
+
+    def test_more_rounds_reduce_train_error(self, blob_data):
+        X, y, _, _ = blob_data
+        few = GradientBoostingClassifier(n_estimators=1, random_state=0).fit(X, y)
+        many = GradientBoostingClassifier(n_estimators=10, random_state=0).fit(X, y)
+        assert accuracy_score(y, many.predict(X)) >= accuracy_score(y, few.predict(X))
+
+    def test_requires_two_classes(self):
+        with pytest.raises(ValidationError):
+            GradientBoostingClassifier().fit(np.zeros((4, 2)), np.zeros(4))
+
+    def test_subsample_validated(self):
+        with pytest.raises(ValidationError):
+            GradientBoostingClassifier(subsample=0.0)
+
+    def test_sample_weight_accepted(self, blob_data):
+        X, y, X_test, y_test = blob_data
+        clf = GradientBoostingClassifier(n_estimators=4, random_state=0)
+        clf.fit(X, y, sample_weight=np.ones(len(y)))
+        assert accuracy_score(y_test, clf.predict(X_test)) > 0.8

@@ -1,0 +1,140 @@
+"""Unit tests for loss functions: values, gradients, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BinaryCrossEntropy,
+    MSELoss,
+    SoftmaxCrossEntropy,
+    softmax,
+    supervised_contrastive_loss,
+)
+from repro.utils.errors import ValidationError
+
+
+def numerical_gradient(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = f()
+        x[idx] = orig - eps
+        lo = f()
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestMSE:
+    def test_value(self):
+        loss = MSELoss()
+        assert loss.forward(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]])) == pytest.approx(2.5)
+
+    def test_gradient(self, rng):
+        loss = MSELoss()
+        pred = rng.standard_normal((4, 3))
+        target = rng.standard_normal((4, 3))
+        loss.forward(pred, target)
+        numeric = numerical_gradient(lambda: loss.forward(pred, target), pred)
+        np.testing.assert_allclose(loss.backward(), numeric, atol=1e-6)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            MSELoss().forward(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestBCE:
+    def test_perfect_prediction_near_zero(self):
+        loss = BinaryCrossEntropy()
+        p = np.array([[0.999], [0.001]])
+        t = np.array([[1.0], [0.0]])
+        assert loss.forward(p, t) < 0.01
+
+    def test_gradient(self, rng):
+        loss = BinaryCrossEntropy()
+        pred = rng.uniform(0.1, 0.9, (5, 1))
+        target = rng.integers(0, 2, (5, 1)).astype(float)
+        loss.forward(pred, target)
+        numeric = numerical_gradient(lambda: loss.forward(pred, target), pred)
+        np.testing.assert_allclose(loss.backward(), numeric, atol=1e-5)
+
+    def test_clips_extreme_probabilities(self):
+        loss = BinaryCrossEntropy()
+        value = loss.forward(np.array([[0.0], [1.0]]), np.array([[1.0], [0.0]]))
+        assert np.isfinite(value)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_logits_log_k(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 3))
+        target = np.eye(3)[[0, 1, 2, 0]]
+        assert loss.forward(logits, target) == pytest.approx(np.log(3))
+
+    def test_gradient(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.standard_normal((5, 4))
+        target = np.eye(4)[rng.integers(0, 4, 5)]
+        loss.forward(logits, target)
+        numeric = numerical_gradient(lambda: loss.forward(logits, target), logits)
+        np.testing.assert_allclose(loss.backward(), numeric, atol=1e-6)
+
+    def test_probabilities_property(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.standard_normal((5, 4))
+        loss.forward(logits, np.eye(4)[[0] * 5])
+        np.testing.assert_allclose(loss.probabilities.sum(axis=1), 1.0)
+
+    def test_stable_for_huge_logits(self):
+        loss = SoftmaxCrossEntropy()
+        value = loss.forward(np.array([[1e4, -1e4]]), np.array([[1.0, 0.0]]))
+        assert np.isfinite(value)
+
+
+class TestSoftmaxHelper:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.standard_normal((6, 5)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_invariant_to_shift(self, rng):
+        z = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(softmax(z), softmax(z + 100.0))
+
+
+class TestSupervisedContrastive:
+    def test_separated_classes_low_loss(self, rng):
+        emb = np.vstack([
+            np.tile([10.0, 0.0], (5, 1)) + 0.01 * rng.standard_normal((5, 2)),
+            np.tile([-10.0, 0.0], (5, 1)) + 0.01 * rng.standard_normal((5, 2)),
+        ])
+        labels = np.array([0] * 5 + [1] * 5)
+        mixed = rng.standard_normal((10, 2))
+        loss_sep, _ = supervised_contrastive_loss(emb, labels)
+        loss_mixed, _ = supervised_contrastive_loss(mixed, labels)
+        assert loss_sep < loss_mixed
+
+    def test_gradient_matches_numeric(self, rng):
+        emb = rng.standard_normal((6, 3))
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        _, grad = supervised_contrastive_loss(emb, labels, temperature=0.5)
+
+        def f():
+            value, _ = supervised_contrastive_loss(emb, labels, temperature=0.5)
+            return value
+
+        numeric = numerical_gradient(f, emb)
+        np.testing.assert_allclose(grad, numeric, atol=1e-4)
+
+    def test_no_positives_returns_zero(self, rng):
+        emb = rng.standard_normal((3, 2))
+        loss, grad = supervised_contrastive_loss(emb, np.array([0, 1, 2]))
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValidationError):
+            supervised_contrastive_loss(np.zeros(3), np.array([0, 1, 2]))

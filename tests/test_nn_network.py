@@ -1,0 +1,49 @@
+"""Unit tests for Sequential utilities and minibatch iteration."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, ReLU, Sequential, iterate_minibatches
+from repro.utils.errors import ValidationError
+
+
+class TestIterateMinibatches:
+    def test_covers_all_indices(self):
+        seen = np.concatenate(list(iterate_minibatches(10, 3, rng=0)))
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_batch_sizes(self):
+        batches = list(iterate_minibatches(10, 4, rng=0))
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_drop_last(self):
+        batches = list(iterate_minibatches(10, 4, rng=0, drop_last=True))
+        assert [len(b) for b in batches] == [4, 4]
+
+    def test_no_shuffle_is_ordered(self):
+        batches = list(iterate_minibatches(6, 2, shuffle=False))
+        np.testing.assert_array_equal(np.concatenate(batches), np.arange(6))
+
+    def test_deterministic_given_seed(self):
+        a = np.concatenate(list(iterate_minibatches(20, 7, rng=3)))
+        b = np.concatenate(list(iterate_minibatches(20, 7, rng=3)))
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValidationError):
+            list(iterate_minibatches(10, 0))
+
+
+class TestNestedSequential:
+    def test_trainable_layers_flatten(self):
+        inner = Sequential([Dense(4, 4, random_state=0), ReLU()])
+        outer = Sequential([inner, Dense(4, 2, random_state=1)])
+        assert len(outer.trainable_layers()) == 2
+
+    def test_nested_forward_backward(self, rng):
+        inner = Sequential([Dense(3, 4, random_state=0), ReLU()])
+        outer = Sequential([inner, Dense(4, 2, random_state=1)])
+        x = rng.standard_normal((5, 3))
+        out = outer.forward(x)
+        grad = outer.backward(np.ones_like(out))
+        assert grad.shape == x.shape

@@ -1,0 +1,89 @@
+"""Unit tests for SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Dense, MSELoss, Sequential
+from repro.utils.errors import ValidationError
+
+
+def make_regression_problem(rng, n=64, d=5):
+    X = rng.standard_normal((n, d))
+    w = rng.standard_normal((d, 1))
+    y = X @ w + 0.01 * rng.standard_normal((n, 1))
+    return X, y
+
+
+def train(optimizer_cls, rng, steps=300, **kwargs):
+    X, y = make_regression_problem(rng)
+    net = Sequential([Dense(5, 1, random_state=0)])
+    opt = optimizer_cls(net.trainable_layers(), **kwargs)
+    loss_fn = MSELoss()
+    losses = []
+    for _ in range(steps):
+        pred = net.forward(X)
+        losses.append(loss_fn.forward(pred, y))
+        net.backward(loss_fn.backward())
+        opt.step()
+        opt.zero_grad()
+    return losses
+
+
+class TestSGD:
+    def test_converges_on_linear_regression(self, rng):
+        losses = train(SGD, rng, lr=0.05)
+        assert losses[-1] < 0.01 * losses[0] + 1e-3
+
+    def test_momentum_accelerates(self, rng):
+        plain = train(SGD, rng, steps=60, lr=0.01)
+        momentum = train(SGD, rng, steps=60, lr=0.01, momentum=0.9)
+        assert momentum[-1] < plain[-1]
+
+    def test_weight_decay_shrinks_weights(self, rng):
+        net = Sequential([Dense(3, 1, random_state=0)])
+        opt = SGD(net.trainable_layers(), lr=0.1, weight_decay=1.0)
+        w0 = np.abs(net.layers[0].params["W"]).sum()
+        for _ in range(20):
+            opt.step()  # zero gradients: pure decay
+        assert np.abs(net.layers[0].params["W"]).sum() < w0
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValidationError):
+            SGD([], lr=0.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValidationError):
+            SGD([], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_linear_regression(self, rng):
+        losses = train(Adam, rng, lr=0.05)
+        assert losses[-1] < 0.01 * losses[0] + 1e-3
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValidationError):
+            Adam([], lr=0.1, beta1=1.0)
+
+    def test_zero_grad_resets(self, rng):
+        net = Sequential([Dense(3, 1, random_state=0)])
+        opt = Adam(net.trainable_layers(), lr=0.01)
+        net.forward(rng.standard_normal((4, 3)))
+        net.backward(np.ones((4, 1)))
+        assert np.abs(net.layers[0].grads["W"]).sum() > 0
+        opt.zero_grad()
+        assert np.abs(net.layers[0].grads["W"]).sum() == 0
+
+    def test_step_with_zero_grads_and_decay_moves_params(self, rng):
+        net = Sequential([Dense(3, 1, random_state=0)])
+        opt = Adam(net.trainable_layers(), lr=0.1, weight_decay=0.5)
+        w0 = net.layers[0].params["W"].copy()
+        opt.step()
+        assert not np.allclose(net.layers[0].params["W"], w0)
+
+    def test_ignores_parameterless_layers(self, rng):
+        from repro.nn import ReLU
+
+        opt = Adam([ReLU()], lr=0.01)
+        opt.step()  # no parameters: must be a no-op, not an error
+        assert opt.layers == []

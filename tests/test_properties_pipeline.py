@@ -1,0 +1,57 @@
+"""Property-based tests on pipeline-level invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.feature_separation import FeatureSeparator
+from repro.datasets import FiveGCConfig, make_5gc
+from repro.ml import MinMaxScaler
+
+
+class TestFewShotSplitProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 3), st.integers(0, 10_000))
+    def test_split_partitions_pool(self, shots, seed):
+        bench = make_5gc(
+            FiveGCConfig(n_source=64, n_target=80, feature_scale=0.1),
+            random_state=0,
+        )
+        X_few, y_few, X_test, y_test = bench.few_shot_split(shots, random_state=seed)
+        assert len(X_few) + len(X_test) == len(bench.X_target)
+        assert len(y_few) == len(X_few)
+        # every class contributes exactly `shots` (pool has >= shots per class)
+        for c in np.unique(bench.y_target):
+            assert np.sum(y_few == c) == min(shots, np.sum(bench.y_target == c))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_split_deterministic(self, seed):
+        bench = make_5gc(
+            FiveGCConfig(n_source=64, n_target=80, feature_scale=0.1),
+            random_state=0,
+        )
+        a = bench.few_shot_split(2, random_state=seed)
+        b = bench.few_shot_split(2, random_state=seed)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestSeparatorProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 1_000))
+    def test_split_merge_identity_any_seed(self, seed):
+        bench = make_5gc(
+            FiveGCConfig(n_source=160, n_target=120, feature_scale=0.1),
+            random_state=0,
+        )
+        scaler = MinMaxScaler().fit(bench.X_source)
+        Xs = scaler.transform(bench.X_source)
+        X_few, _, _, _ = bench.few_shot_split(2, random_state=seed)
+        sep = FeatureSeparator().fit(Xs, scaler.transform(X_few))
+        X_inv, X_var = sep.split(Xs)
+        np.testing.assert_array_equal(sep.merge(X_inv, X_var), Xs)
+        # the partition is always exact and disjoint
+        merged = np.concatenate([sep.variant_indices_, sep.invariant_indices_])
+        assert len(np.unique(merged)) == Xs.shape[1]

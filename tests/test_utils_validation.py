@@ -1,0 +1,115 @@
+"""Unit tests for repro.utils.validation and the typed error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    NotFittedError,
+    ReproError,
+    ValidationError,
+    check_array,
+    check_consistent_features,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+
+
+class TestCheckArray:
+    def test_accepts_lists(self):
+        arr = check_array([[1, 2], [3, 4]])
+        assert arr.dtype == np.float64
+        assert arr.shape == (2, 2)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            check_array([1, 2, 3])
+
+    def test_accepts_1d_when_requested(self):
+        arr = check_array([1.0, 2.0], ndim=1)
+        assert arr.shape == (2,)
+
+    def test_rejects_nan_by_default(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_array([[np.nan, 1.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError, match="NaN or infinite"):
+            check_array([[np.inf, 1.0]])
+
+    def test_allows_nan_when_opted_in(self):
+        arr = check_array([[np.nan, 1.0]], allow_nan=True)
+        assert np.isnan(arr[0, 0])
+
+    def test_min_samples(self):
+        with pytest.raises(ValidationError, match="at least 3"):
+            check_array([[1.0], [2.0]], min_samples=3)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError, match="converted"):
+            check_array([["a", "b"]])
+
+    def test_name_in_message(self):
+        with pytest.raises(ValidationError, match="my_matrix"):
+            check_array([1.0], name="my_matrix")
+
+
+class TestCheckXY:
+    def test_matching_lengths(self):
+        X, y = check_X_y([[1.0], [2.0]], [0, 1])
+        assert X.shape == (2, 1)
+        assert y.shape == (2,)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError, match="inconsistent lengths"):
+            check_X_y([[1.0], [2.0]], [0, 1, 2])
+
+    def test_y_must_be_1d(self):
+        with pytest.raises(ValidationError, match="1-dimensional"):
+            check_X_y([[1.0], [2.0]], [[0], [1]])
+
+
+class TestCheckIsFitted:
+    def test_raises_when_attribute_none(self):
+        class Dummy:
+            model_ = None
+
+        with pytest.raises(NotFittedError, match="Dummy"):
+            check_is_fitted(Dummy(), "model_")
+
+    def test_passes_when_set(self):
+        class Dummy:
+            model_ = object()
+
+        check_is_fitted(Dummy(), "model_")
+
+    def test_not_fitted_is_repro_error(self):
+        assert issubclass(NotFittedError, ReproError)
+        assert issubclass(NotFittedError, RuntimeError)
+
+
+class TestCheckConsistentFeatures:
+    def test_match(self):
+        check_consistent_features(np.zeros((2, 3)), 3)
+
+    def test_mismatch(self):
+        with pytest.raises(ValidationError, match="fitted with 4"):
+            check_consistent_features(np.zeros((2, 3)), 4)
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = check_random_state(42).random(3)
+        b = check_random_state(42).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            check_random_state("seed")
