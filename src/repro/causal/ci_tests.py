@@ -17,11 +17,28 @@ Three tests cover the cases the framework needs:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from scipy import stats
 
+from repro.obs.metrics import get_metrics
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_array
+
+
+def _observe_ci_test(registry, kind: str, cond_size: int, p: float, seconds: float) -> None:
+    """Record one CI test in the metrics registry (only called when enabled).
+
+    Per-conditioning-set-size timing is what substantiates the paper's §VI-D
+    claim that FS cost is dominated by the CI tests.
+    """
+    registry.counter("ci_tests_total").inc()
+    registry.counter(f"ci_tests_{kind}").inc()
+    registry.histogram("ci_test_seconds").observe(seconds)
+    registry.histogram("ci_test_pvalue").observe(p)
+    registry.counter(f"ci_tests_cond{cond_size}").inc()
+    registry.histogram(f"ci_test_seconds_cond{cond_size}").observe(seconds)
 
 
 def _partial_correlation(data: np.ndarray, i: int, j: int, cond: tuple[int, ...]) -> float:
@@ -49,6 +66,16 @@ def fisher_z_test(data, i: int, j: int, cond: tuple[int, ...] = ()) -> float:
 
     Returns a p-value in [0, 1]; small values reject independence.
     """
+    registry = get_metrics()
+    if registry.enabled:
+        t0 = time.perf_counter()
+        p = _fisher_z_test(data, i, j, cond)
+        _observe_ci_test(registry, "fisher_z", len(cond), p, time.perf_counter() - t0)
+        return p
+    return _fisher_z_test(data, i, j, cond)
+
+
+def _fisher_z_test(data, i: int, j: int, cond: tuple[int, ...]) -> float:
     data = check_array(data, min_samples=4)
     d = data.shape[1]
     for col in (i, j, *cond):
@@ -130,6 +157,28 @@ def regression_invariance_test(
 
     Passing ``z_source=None`` performs the marginal (unconditional) test.
     """
+    registry = get_metrics()
+    if registry.enabled:
+        cond_size = 0 if z_source is None else int(np.asarray(z_source).shape[-1])
+        t0 = time.perf_counter()
+        p = _regression_invariance_test(
+            x_source, x_target, z_source, z_target, ridge=ridge
+        )
+        _observe_ci_test(
+            registry, "invariance", cond_size, p, time.perf_counter() - t0
+        )
+        return p
+    return _regression_invariance_test(x_source, x_target, z_source, z_target, ridge=ridge)
+
+
+def _regression_invariance_test(
+    x_source: np.ndarray,
+    x_target: np.ndarray,
+    z_source: np.ndarray | None = None,
+    z_target: np.ndarray | None = None,
+    *,
+    ridge: float = 1e-3,
+) -> float:
     x_source = np.asarray(x_source, dtype=np.float64).ravel()
     x_target = np.asarray(x_target, dtype=np.float64).ravel()
     if x_source.size < 3 or x_target.size < 2:

@@ -29,10 +29,16 @@ import numpy as np
 
 from repro.causal.ci_tests import fisher_z_test, regression_invariance_test
 from repro.causal.pc import pc_algorithm
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_array
 
 F_NODE = "F"
+
+#: features per child span in the discovery trace — coarse enough to keep
+#: traces small on 442-feature data, fine enough to localize the cost
+CI_BATCH_SIZE = 32
 
 
 @dataclass
@@ -153,34 +159,35 @@ class FNodeDiscovery:
         p_values = np.zeros(d)
         parent_sets: list[tuple[int, ...]] = []
         n_tests = 0
-        from itertools import combinations
+        tracer = get_tracer()
 
-        for j in range(d):
-            candidates = self._candidates(corr, j)
-            best_p = 0.0
-            separating: tuple[int, ...] = ()
-            cleared = False
-            for size in range(0, self.max_cond_size + 1):
-                for subset in combinations(candidates, size):
-                    cols = list(subset)
-                    z_s = X_source[:, cols] if cols else None
-                    z_t = X_target[:, cols] if cols else None
-                    p = regression_invariance_test(
-                        X_source[:, j], X_target[:, j], z_s, z_t
-                    )
-                    n_tests += 1
-                    if p > best_p:
-                        best_p = p
-                        separating = subset
-                    if p >= self.alpha:
-                        cleared = True
-                        break
-                if cleared:
-                    break
-            p_values[j] = best_p
-            parent_sets.append(separating)
+        # the FS span decomposes into per-CI-test-batch child spans so a
+        # trace shows where the dominant (§VI-D) discovery cost goes
+        with tracer.span("fs.discover", n_features=d) as fs_span:
+            for start in range(0, d, CI_BATCH_SIZE):
+                stop = min(start + CI_BATCH_SIZE, d)
+                with tracer.span(
+                    "fs.ci_batch", feature_start=start, feature_stop=stop
+                ) as batch_span:
+                    batch_tests = 0
+                    for j in range(start, stop):
+                        best_p, separating, feature_tests = self._test_feature(
+                            X_source, X_target, corr, j
+                        )
+                        p_values[j] = best_p
+                        parent_sets.append(separating)
+                        batch_tests += feature_tests
+                    batch_span.tag(n_tests=batch_tests)
+                n_tests += batch_tests
+            fs_span.tag(n_tests=n_tests)
+
         variant = np.where(p_values < self.alpha)[0]
         invariant = np.where(p_values >= self.alpha)[0]
+        registry = get_metrics()
+        if registry.enabled:
+            registry.counter("fs_discoveries_total").inc()
+            registry.gauge("fs_n_variant").set(len(variant))
+            registry.gauge("fs_n_features").set(d)
         return FNodeResult(
             variant_indices=variant,
             invariant_indices=invariant,
@@ -188,6 +195,36 @@ class FNodeDiscovery:
             parent_sets=parent_sets,
             n_tests=n_tests,
         )
+
+    def _test_feature(
+        self, X_source: np.ndarray, X_target: np.ndarray, corr: np.ndarray, j: int
+    ) -> tuple[float, tuple[int, ...], int]:
+        """Subset search for one feature: ``(best_p, separating_set, n_tests)``."""
+        from itertools import combinations
+
+        candidates = self._candidates(corr, j)
+        best_p = 0.0
+        separating: tuple[int, ...] = ()
+        n_tests = 0
+        for size in range(0, self.max_cond_size + 1):
+            cleared = False
+            for subset in combinations(candidates, size):
+                cols = list(subset)
+                z_s = X_source[:, cols] if cols else None
+                z_t = X_target[:, cols] if cols else None
+                p = regression_invariance_test(
+                    X_source[:, j], X_target[:, j], z_s, z_t
+                )
+                n_tests += 1
+                if p > best_p:
+                    best_p = p
+                    separating = subset
+                if p >= self.alpha:
+                    cleared = True
+                    break
+            if cleared:
+                break
+        return best_p, separating, n_tests
 
 
 def _mixed_ci_test(f_col: int):

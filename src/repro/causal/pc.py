@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.causal.ci_tests import fisher_z_test
 from repro.causal.graph import CausalGraph
+from repro.obs.trace import get_tracer
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_array
 
@@ -66,29 +67,35 @@ def pc_skeleton(
     graph = CausalGraph.complete(nodes)
     sepsets: dict = {}
     n_tests = 0
+    tracer = get_tracer()
     level = 0
     limit = max_cond_size if max_cond_size is not None else len(nodes) - 2
     while level <= limit:
         any_tested = False
-        for a in list(graph.nodes):
-            for b in sorted(graph.undirected_neighbors(a), key=str):
-                candidates = sorted(
-                    (graph.neighbors(a) - {b}) - forbidden_cond, key=str
-                )
-                if len(candidates) < level:
-                    continue
-                removed = False
-                for cond in combinations(candidates, level):
-                    any_tested = True
-                    n_tests += 1
-                    p = ci_test(data, col[a], col[b], tuple(col[c] for c in cond))
-                    if p > alpha:
-                        graph.remove_edge(a, b)
-                        sepsets[frozenset((a, b))] = set(cond)
-                        removed = True
-                        break
-                if removed:
-                    continue
+        # one span per conditioning-set size: the PC cost profile is exactly
+        # the per-level CI-test counts (the paper's dominant FS cost)
+        with tracer.span("pc.level", cond_size=level) as span:
+            level_tests = n_tests
+            for a in list(graph.nodes):
+                for b in sorted(graph.undirected_neighbors(a), key=str):
+                    candidates = sorted(
+                        (graph.neighbors(a) - {b}) - forbidden_cond, key=str
+                    )
+                    if len(candidates) < level:
+                        continue
+                    removed = False
+                    for cond in combinations(candidates, level):
+                        any_tested = True
+                        n_tests += 1
+                        p = ci_test(data, col[a], col[b], tuple(col[c] for c in cond))
+                        if p > alpha:
+                            graph.remove_edge(a, b)
+                            sepsets[frozenset((a, b))] = set(cond)
+                            removed = True
+                            break
+                    if removed:
+                        continue
+            span.tag(n_tests=n_tests - level_tests)
         if not any_tested and level > 0:
             break
         level += 1

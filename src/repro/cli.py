@@ -6,15 +6,29 @@ Usage::
     python -m repro ablation --dataset 5gipc
     python -m repro multitarget
     python -m repro counts --dataset 5gc
-    python -m repro runtime --dataset 5gipc --preset fast
+    python -m repro runtime --dataset 5gipc --preset fast --trace -v
 
 Each subcommand runs one artifact of the paper's evaluation section and
 prints it in the paper's layout (see EXPERIMENTS.md for the mapping).
+
+Observability flags (available on every subcommand):
+
+``--trace``
+    Collect spans, metrics and events and write the run bundle
+    (``trace.json`` / ``metrics.json`` / ``events.jsonl`` /
+    ``manifest.json``) to a seed-keyed directory under ``--runs-dir``.
+``--metrics-out PATH``
+    Write ``metrics.json`` to an explicit path (works with or without
+    ``--trace``).
+``--log-level`` / ``-v``
+    Structured-logging level (``-v`` = INFO, ``-vv`` = DEBUG; the
+    ``REPRO_LOG_LEVEL`` environment variable is the fallback).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments import (
@@ -30,6 +44,12 @@ from repro.experiments import (
     run_table1,
     summarize_improvement,
     variant_counts,
+)
+from repro.obs import (
+    RunRecorder,
+    configure_logging,
+    run_dir_name,
+    verbosity_to_level,
 )
 
 
@@ -49,6 +69,27 @@ def build_parser() -> argparse.ArgumentParser:
             help="experiment scale (default: $REPRO_PRESET or smoke)",
         )
         p.add_argument("--seed", type=int, default=0)
+        obs = p.add_argument_group("observability")
+        obs.add_argument(
+            "--trace", action="store_true",
+            help="collect spans/metrics/events and write the run bundle",
+        )
+        obs.add_argument(
+            "--metrics-out", metavar="PATH", default=None,
+            help="write metrics.json to this path",
+        )
+        obs.add_argument(
+            "--runs-dir", metavar="DIR", default="runs",
+            help="directory receiving --trace run bundles (default: runs)",
+        )
+        obs.add_argument(
+            "--log-level", choices=("DEBUG", "INFO", "WARNING", "ERROR"),
+            default=None, help="structured-logging level",
+        )
+        obs.add_argument(
+            "-v", "--verbose", action="count", default=0,
+            help="-v = INFO logging, -vv = DEBUG",
+        )
 
     p = sub.add_parser("table1", help="Table I: the full method/model/shots grid")
     add_common(p)
@@ -72,11 +113,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv=None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    preset = get_preset(args.preset)
+def _make_recorder(args, preset) -> RunRecorder | None:
+    """Build the observability session implied by the CLI flags (or None)."""
+    if not (args.trace or args.metrics_out):
+        return None
+    run_dir = None
+    if args.trace:
+        run_dir = os.path.join(
+            args.runs_dir,
+            run_dir_name(
+                args.command,
+                dataset=getattr(args, "dataset", None),
+                preset=preset.name,
+                seed=args.seed,
+            ),
+        )
+    return RunRecorder(
+        run_dir,
+        metrics_path=args.metrics_out,
+        manifest={
+            "command": args.command,
+            "dataset": getattr(args, "dataset", None),
+            "preset": preset.name,
+            "seed": args.seed,
+        },
+    )
 
+
+def _dispatch(args, preset) -> None:
+    """Run the selected subcommand and print its table."""
     if args.command == "table1":
         results = run_table1(
             args.dataset,
@@ -110,6 +175,27 @@ def main(argv=None) -> int:
         print(format_runtime(
             measure_runtime(args.dataset, preset=preset, random_state=args.seed)
         ))
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.log_level is not None:
+        configure_logging(args.log_level)
+    elif args.verbose:
+        configure_logging(verbosity_to_level(args.verbose))
+    preset = get_preset(args.preset)
+    recorder = _make_recorder(args, preset)
+
+    if recorder is None:
+        _dispatch(args, preset)
+        return 0
+    with recorder:
+        _dispatch(args, preset)
+    for path in (
+        [recorder.run_dir] if recorder.run_dir else []
+    ) + ([recorder.metrics_path] if recorder.metrics_path else []):
+        print(f"[obs] telemetry written to {path}", file=sys.stderr)
     return 0
 
 

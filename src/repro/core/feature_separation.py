@@ -13,6 +13,8 @@ import numpy as np
 
 from repro.causal.fnode import FNodeDiscovery, FNodeResult
 from repro.core.config import FSConfig
+from repro.obs.export import get_event_log
+from repro.obs.trace import get_tracer
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_array, check_is_fitted
 
@@ -51,8 +53,28 @@ class FeatureSeparator:
             max_cond_size=self.config.max_cond_size,
             min_correlation=self.config.min_correlation,
         )
-        self.result_ = discovery.discover(X_source, X_target)
+        with get_tracer().span(
+            "fs.fit",
+            n_source=X_source.shape[0],
+            n_target=X_target.shape[0],
+            n_features=X_source.shape[1],
+        ) as span:
+            self.result_ = discovery.discover(X_source, X_target)
+            span.tag(n_variant=self.result_.n_variant, n_tests=self.result_.n_tests)
         self.n_features_ = X_source.shape[1]
+        events = get_event_log()
+        if events.enabled:
+            variant = set(self.result_.variant_indices.tolist())
+            for j, (p, parents) in enumerate(
+                zip(self.result_.p_values, self.result_.parent_sets)
+            ):
+                events.emit(
+                    "fs.feature_decision",
+                    feature=j,
+                    p_value=float(p),
+                    variant=j in variant,
+                    parent_set=list(parents),
+                )
         return self
 
     @property

@@ -18,8 +18,13 @@ import numpy as np
 
 from repro.core.feature_separation import FeatureSeparator
 from repro.core.pipeline import FSGANPipeline
+from repro.obs.export import get_event_log
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_metrics
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_array
+
+_logger = get_logger("repro.core.monitor")
 
 
 @dataclass
@@ -38,6 +43,9 @@ class DriftReport:
         drift profile is unchanged; low values = the domain moved again).
     drifted:
         Whether the change exceeds the monitor's refresh policy.
+    p_values:
+        Per-feature p-values from the observation's FS run, or None when the
+        producing separator exposed none.
     """
 
     n_variant: int
@@ -45,7 +53,7 @@ class DriftReport:
     vanished_variant: tuple[int, ...]
     jaccard: float
     drifted: bool
-    p_values: np.ndarray = field(repr=False, default=None)
+    p_values: np.ndarray | None = field(repr=False, default=None)
 
 
 class DriftMonitor:
@@ -89,6 +97,12 @@ class DriftMonitor:
     def observe(self, X_batch) -> DriftReport:
         """Run FS against a fresh target batch and compare to the baseline."""
         X_batch = check_array(X_batch, name="X_batch", min_samples=2)
+        if self.pipeline._fit_cache is None:
+            raise ValidationError(
+                "DriftMonitor needs the pipeline's training cache, which was "
+                "dropped by release_training_cache(); re-fit the pipeline to "
+                "resume monitoring"
+            )
         Xs, _ = self.pipeline._fit_cache
         if X_batch.shape[1] != Xs.shape[1]:
             raise ValidationError(
@@ -113,6 +127,27 @@ class DriftMonitor:
             p_values=separator.result_.p_values,
         )
         self.history.append(report)
+        registry = get_metrics()
+        if registry.enabled:
+            registry.counter("drift_observations_total").inc()
+            if drifted:
+                registry.counter("drift_detected_total").inc()
+            registry.histogram("drift_jaccard").observe(jaccard)
+        events = get_event_log()
+        if events.enabled:
+            events.emit(
+                "drift.observe",
+                n_variant=report.n_variant,
+                n_new=len(new),
+                n_vanished=len(vanished),
+                jaccard=jaccard,
+                drifted=drifted,
+            )
+        if drifted:
+            _logger.info(
+                "drift detected: jaccard=%.3f new=%d vanished=%d",
+                jaccard, len(new), len(vanished),
+            )
         return report
 
     def observe_and_refresh(self, X_batch) -> tuple[DriftReport, bool]:
@@ -124,5 +159,8 @@ class DriftMonitor:
         report = self.observe(X_batch)
         if report.drifted:
             self.pipeline.refit_adapter(X_batch)
+            get_metrics().counter("drift_refreshes_total").inc()
+            get_event_log().emit("drift.refresh", jaccard=report.jaccard)
+            _logger.info("adapter refreshed (jaccard=%.3f)", report.jaccard)
             return report, True
         return report, False

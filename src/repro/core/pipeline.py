@@ -25,6 +25,7 @@ from repro.core.config import FSConfig, ReconstructionConfig
 from repro.core.feature_separation import FeatureSeparator
 from repro.core.reconstruction import VariantReconstructor
 from repro.ml.preprocessing import MinMaxScaler
+from repro.obs.trace import get_tracer
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_array, check_is_fitted, check_X_y
 
@@ -105,6 +106,7 @@ class FSGANPipeline:
         fs_config: FSConfig | None = None,
         reconstruction_config: ReconstructionConfig | None = None,
         random_state=None,
+        hooks=None,
     ) -> None:
         if not callable(model_factory):
             raise ValidationError("model_factory must be callable")
@@ -112,6 +114,7 @@ class FSGANPipeline:
         self.fs_config = fs_config or FSConfig()
         self.reconstruction_config = reconstruction_config or ReconstructionConfig()
         self.random_state = random_state
+        self.hooks = hooks
         self.scaler_: MinMaxScaler | None = None
         self.separator_: FeatureSeparator | None = None
         self.reconstructor_: VariantReconstructor | None = None
@@ -125,21 +128,32 @@ class FSGANPipeline:
         X_target_few = check_array(X_target_few, name="X_target_few")
         if X_target_few.shape[1] != X_source.shape[1]:
             raise ValidationError("source and target feature counts differ")
-        self.scaler_ = MinMaxScaler().fit(X_source)
-        Xs = self.scaler_.transform(X_source)
-        Xt = self.scaler_.transform(X_target_few)
-        self._cached_source = (Xs, y_source)
+        tracer = get_tracer()
+        with tracer.span(
+            "pipeline.fit",
+            n_source=X_source.shape[0],
+            n_target_few=X_target_few.shape[0],
+            n_features=X_source.shape[1],
+        ):
+            with tracer.span("pipeline.scale"):
+                self.scaler_ = MinMaxScaler().fit(X_source)
+                Xs = self.scaler_.transform(X_source)
+                Xt = self.scaler_.transform(X_target_few)
+            self._cached_source = (Xs, y_source)
 
-        self.separator_ = FeatureSeparator(self.fs_config).fit(Xs, Xt)
-        X_inv, X_var = self.separator_.split(Xs)
+            with tracer.span("pipeline.fs") as span:
+                self.separator_ = FeatureSeparator(self.fs_config).fit(Xs, Xt)
+                span.tag(n_variant=self.separator_.n_variant_)
+            X_inv, X_var = self.separator_.split(Xs)
 
-        self.model_ = self.model_factory()
-        self.model_.fit(Xs, y_source)  # all features, source only
+            with tracer.span("pipeline.model_fit"):
+                self.model_ = self.model_factory()
+                self.model_.fit(Xs, y_source)  # all features, source only
 
-        self.reconstructor_ = VariantReconstructor(
-            self.reconstruction_config, random_state=self.random_state
-        )
-        self.reconstructor_.fit(X_inv, X_var, y_source)
+            self.reconstructor_ = VariantReconstructor(
+                self.reconstruction_config, random_state=self.random_state
+            )
+            self.reconstructor_.fit(X_inv, X_var, y_source, hooks=self.hooks)
         return self
 
     def refit_adapter(self, X_target_few) -> "FSGANPipeline":
@@ -148,18 +162,41 @@ class FSGANPipeline:
         The downstream model is left untouched — this is the paper's
         "no retraining or fine-tuning required" property (§VI-F): only the
         lightweight adapter (FS + GAN) is refreshed when the domain evolves.
+        Requires the training cache; unavailable after
+        :meth:`release_training_cache`.
         """
         check_is_fitted(self, "model_")
         if self._fit_cache is None:
+            if getattr(self, "_cache_released", False):
+                raise ValidationError(
+                    "refit_adapter is unavailable: the training cache was "
+                    "dropped by release_training_cache(); re-fit the pipeline "
+                    "to refresh the adapter again"
+                )
             raise ValidationError("refit_adapter requires the pipeline to be fitted")
         Xs, y_source = self._fit_cache
         Xt = self.scaler_.transform(check_array(X_target_few, name="X_target_few"))
-        self.separator_ = FeatureSeparator(self.fs_config).fit(Xs, Xt)
-        X_inv, X_var = self.separator_.split(Xs)
-        self.reconstructor_ = VariantReconstructor(
-            self.reconstruction_config, random_state=self.random_state
-        )
-        self.reconstructor_.fit(X_inv, X_var, y_source)
+        with get_tracer().span("pipeline.refit_adapter"):
+            self.separator_ = FeatureSeparator(self.fs_config).fit(Xs, Xt)
+            X_inv, X_var = self.separator_.split(Xs)
+            self.reconstructor_ = VariantReconstructor(
+                self.reconstruction_config, random_state=self.random_state
+            )
+            self.reconstructor_.fit(X_inv, X_var, y_source, hooks=self.hooks)
+        return self
+
+    def release_training_cache(self) -> "FSGANPipeline":
+        """Drop the retained scaled source matrix to shrink the live footprint.
+
+        The cache (the full scaled source data plus labels) exists solely so
+        :meth:`refit_adapter` and :class:`~repro.core.monitor.DriftMonitor`
+        can re-run FS without the caller resupplying source data.  Long-lived
+        serving processes that only ever call :meth:`predict` should release
+        it after fitting; afterwards ``refit_adapter`` raises a clear error
+        instead of silently retraining on nothing.
+        """
+        self._cached_source = None
+        self._cache_released = True
         return self
 
     @property
@@ -169,14 +206,16 @@ class FSGANPipeline:
     def transform(self, X, *, n_draws: int = 1) -> np.ndarray:
         """Map target samples to source-like samples (scaled space, Eq. 11)."""
         check_is_fitted(self, "model_")
-        Xs = self.scaler_.transform(check_array(X))
-        X_inv, _ = self.separator_.split(Xs)
-        X_var_hat = self.reconstructor_.reconstruct(X_inv, n_draws=n_draws)
-        return self.separator_.merge(X_inv, X_var_hat)
+        with get_tracer().span("pipeline.transform", n_samples=len(X)):
+            Xs = self.scaler_.transform(check_array(X))
+            X_inv, _ = self.separator_.split(Xs)
+            X_var_hat = self.reconstructor_.reconstruct(X_inv, n_draws=n_draws)
+            return self.separator_.merge(X_inv, X_var_hat)
 
     def predict(self, X, *, n_draws: int = 1) -> np.ndarray:
         """Predict labels for target samples via the reconstruction path (Eq. 12)."""
-        return self.model_.predict(self.transform(X, n_draws=n_draws))
+        with get_tracer().span("pipeline.predict", n_samples=len(X)):
+            return self.model_.predict(self.transform(X, n_draws=n_draws))
 
     def predict_proba(self, X, *, n_draws: int = 1) -> np.ndarray:
         """Class probabilities, when the downstream model provides them."""

@@ -15,6 +15,7 @@ from repro.gan.autoencoder import VanillaAutoencoder
 from repro.gan.cgan import ConditionalGAN
 from repro.gan.vae import ConditionalVAE
 from repro.ml.preprocessing import one_hot
+from repro.obs.trace import get_tracer
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_array, check_is_fitted
 
@@ -59,11 +60,13 @@ class VariantReconstructor:
             return VanillaAutoencoder(**common)
         raise ValidationError(f"unknown strategy {cfg.strategy!r}")
 
-    def fit(self, X_inv, X_var, y=None) -> "VariantReconstructor":
+    def fit(self, X_inv, X_var, y=None, *, hooks=None) -> "VariantReconstructor":
         """Train the reconstruction model on source-domain blocks.
 
         ``y`` (integer labels) is required for the conditional GAN
         (discriminator conditioning, Eq. 7) and ignored by the others.
+        ``hooks`` is forwarded to the underlying training loop as per-epoch
+        telemetry callbacks (see :mod:`repro.obs.hooks`).
         """
         X_inv = check_array(X_inv, name="X_inv")
         X_var = check_array(X_var, name="X_var")
@@ -81,7 +84,15 @@ class VariantReconstructor:
             y_onehot = one_hot(y)
             self.n_classes_ = y_onehot.shape[1]
         self.model_ = self._build()
-        self.model_.fit(X_inv, X_var, y_onehot)
+        with get_tracer().span(
+            "reconstruction.fit",
+            strategy=self.config.strategy,
+            n_samples=X_inv.shape[0],
+            n_invariant=X_inv.shape[1],
+            n_variant=X_var.shape[1],
+            epochs=self.config.epochs,
+        ):
+            self.model_.fit(X_inv, X_var, y_onehot, hooks=hooks)
         return self
 
     def reconstruct(self, X_inv, *, n_draws: int = 1, random_state=None) -> np.ndarray:

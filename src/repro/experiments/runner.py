@@ -31,7 +31,29 @@ from repro.experiments.models import MODEL_NAMES, model_factories
 from repro.experiments.presets import ExperimentPreset, get_preset
 from repro.ml.metrics import macro_f1
 from repro.ml.preprocessing import MinMaxScaler
+from repro.obs.export import get_event_log
+from repro.obs.logging import get_logger
+from repro.obs.trace import get_tracer
 from repro.utils.errors import ValidationError
+
+_logger = get_logger("repro.experiments.runner")
+
+
+def _cell_finished(kind: str, cell: "CellResult") -> None:
+    """Per-cell progress: one log line + one structured event per grid cell."""
+    _logger.info(
+        "%s cell method=%s model=%s shots=%d f1=%.3f (%.2f s)",
+        kind, cell.method, cell.model, cell.shots, cell.f1_mean, cell.seconds,
+    )
+    get_event_log().emit(
+        f"runner.{kind}_cell",
+        dataset=cell.dataset,
+        method=cell.method,
+        model=cell.model,
+        shots=cell.shots,
+        f1_mean=cell.f1_mean,
+        seconds=cell.seconds,
+    )
 
 
 @dataclass
@@ -177,6 +199,7 @@ def run_table1(
     factories = model_factories(preset, random_state=random_state)
     results: list[CellResult] = []
 
+    tracer = get_tracer()
     for method in methods:
         is_specific = method in MODEL_SPECIFIC_METHODS
         method_models = ("-",) if is_specific else models
@@ -184,28 +207,32 @@ def run_table1(
             for shots in preset.shots:
                 cell = CellResult(dataset=dataset, method=method, model=model, shots=shots)
                 t0 = time.time()
-                for repeat in range(preset.repeats):
-                    X_few, y_few, X_test, y_test = shared.split(shots, repeat)
-                    if method == "srconly":
-                        y_pred = shared.srconly_predict(model, shots, repeat)
-                    elif method == "fs":
-                        y_pred = shared.fs_predict(model, shots, repeat)
-                        cell.n_variant.append(shared.separation(shots, repeat).n_variant_)
-                    elif method == "fs+gan":
-                        y_pred = shared.fsgan_predict(model, shots, repeat)
-                        cell.n_variant.append(shared.separation(shots, repeat).n_variant_)
-                    else:
-                        kwargs = _method_kwargs(method, preset)
-                        approach = build_method(
-                            method,
-                            None if is_specific else factories[model],
-                            random_state=random_state + repeat,
-                            **kwargs,
-                        )
-                        approach.fit(bench.X_source, bench.y_source, X_few, y_few)
-                        y_pred = approach.predict(X_test)
-                    cell.scores.append(macro_f1(y_test, y_pred))
+                with tracer.span(
+                    "runner.cell", method=method, model=model, shots=shots
+                ):
+                    for repeat in range(preset.repeats):
+                        X_few, y_few, X_test, y_test = shared.split(shots, repeat)
+                        if method == "srconly":
+                            y_pred = shared.srconly_predict(model, shots, repeat)
+                        elif method == "fs":
+                            y_pred = shared.fs_predict(model, shots, repeat)
+                            cell.n_variant.append(shared.separation(shots, repeat).n_variant_)
+                        elif method == "fs+gan":
+                            y_pred = shared.fsgan_predict(model, shots, repeat)
+                            cell.n_variant.append(shared.separation(shots, repeat).n_variant_)
+                        else:
+                            kwargs = _method_kwargs(method, preset)
+                            approach = build_method(
+                                method,
+                                None if is_specific else factories[model],
+                                random_state=random_state + repeat,
+                                **kwargs,
+                            )
+                            approach.fit(bench.X_source, bench.y_source, X_few, y_few)
+                            y_pred = approach.predict(X_test)
+                        cell.scores.append(macro_f1(y_test, y_pred))
                 cell.seconds = time.time() - t0
+                _cell_finished("table1", cell)
                 results.append(cell)
     return results
 
@@ -239,15 +266,18 @@ def run_ablation(
     label = {"gan": "FS+GAN", "nocond": "FS+NoCond", "vae": "FS+VAE",
              "autoencoder": "FS+VanillaAE"}
     results = []
+    tracer = get_tracer()
     for strategy in strategies:
         for shots in preset.shots:
             cell = CellResult(dataset=dataset, method=label[strategy],
                               model=model, shots=shots)
             t0 = time.time()
-            for repeat in range(preset.repeats):
-                _, _, X_test, y_test = shared.split(shots, repeat)
-                y_pred = shared.fsgan_predict(model, shots, repeat, strategy=strategy)
-                cell.scores.append(macro_f1(y_test, y_pred))
+            with tracer.span("runner.cell", strategy=strategy, shots=shots):
+                for repeat in range(preset.repeats):
+                    _, _, X_test, y_test = shared.split(shots, repeat)
+                    y_pred = shared.fsgan_predict(model, shots, repeat, strategy=strategy)
+                    cell.scores.append(macro_f1(y_test, y_pred))
             cell.seconds = time.time() - t0
+            _cell_finished("ablation", cell)
             results.append(cell)
     return results

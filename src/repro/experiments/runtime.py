@@ -5,13 +5,15 @@ tests; GAN training ≈ 12 / 7 min; inference ≈ 0.05 s per sample (one
 generator forward pass).  This module measures the same three quantities on
 the configured preset so the scaling story (FS > GAN training ≫ inference)
 can be checked at any size.
+
+Timing is span-based: each phase opens a span on the global tracer
+(``runtime.fs`` / ``runtime.gan`` / ``runtime.inference``), so a CLI run
+with ``--trace`` exports the full decomposition — including the per-CI-test
+batch children recorded by :class:`repro.causal.FNodeDiscovery` — while a
+plain run pays only the no-op tracer.
 """
 
 from __future__ import annotations
-
-import time
-
-import numpy as np
 
 from repro.core.config import FSConfig, ReconstructionConfig
 from repro.core.feature_separation import FeatureSeparator
@@ -19,6 +21,8 @@ from repro.core.reconstruction import VariantReconstructor
 from repro.experiments.presets import ExperimentPreset, get_preset
 from repro.experiments.runner import make_benchmark
 from repro.ml.preprocessing import MinMaxScaler
+from repro.obs.logging import get_logger
+from repro.obs.trace import Stopwatch, get_tracer
 
 
 def measure_runtime(
@@ -31,14 +35,17 @@ def measure_runtime(
 ) -> dict:
     """Wall-clock seconds for FS discovery, GAN training and per-sample inference."""
     preset = preset if isinstance(preset, ExperimentPreset) else get_preset(preset)
+    tracer = get_tracer()
+    logger = get_logger("repro.experiments.runtime")
     bench = make_benchmark(dataset, preset, random_state=random_state)
     X_few, _, X_test, _ = bench.few_shot_split(shots, random_state=random_state)
     scaler = MinMaxScaler().fit(bench.X_source)
     Xs = scaler.transform(bench.X_source)
 
-    t0 = time.perf_counter()
-    sep = FeatureSeparator(FSConfig()).fit(Xs, scaler.transform(X_few))
-    fs_seconds = time.perf_counter() - t0
+    with tracer.span("runtime.fs", dataset=dataset, shots=shots), Stopwatch() as sw:
+        sep = FeatureSeparator(FSConfig()).fit(Xs, scaler.transform(X_few))
+    fs_seconds = sw.seconds
+    logger.info("FS discovery: %.2f s (%d CI tests)", fs_seconds, sep.result_.n_tests)
 
     X_inv, X_var = sep.split(Xs)
     rec = VariantReconstructor(
@@ -50,16 +57,18 @@ def measure_runtime(
         ),
         random_state=random_state,
     )
-    t0 = time.perf_counter()
-    rec.fit(X_inv, X_var, bench.y_source)
-    gan_seconds = time.perf_counter() - t0
+    with tracer.span("runtime.gan", epochs=preset.gan_epochs), Stopwatch() as sw:
+        rec.fit(X_inv, X_var, bench.y_source)
+    gan_seconds = sw.seconds
+    logger.info("GAN training: %.2f s (%d epochs)", gan_seconds, preset.gan_epochs)
 
     Xt = scaler.transform(X_test[:n_inference_samples])
     inv_block, _ = sep.split(Xt)
-    t0 = time.perf_counter()
-    for row in inv_block:  # one sample at a time, as in online inference
-        rec.reconstruct(row[None, :])
-    per_sample = (time.perf_counter() - t0) / len(inv_block)
+    with tracer.span("runtime.inference", n_samples=len(inv_block)), Stopwatch() as sw:
+        for row in inv_block:  # one sample at a time, as in online inference
+            rec.reconstruct(row[None, :])
+    per_sample = sw.seconds / len(inv_block)
+    logger.info("inference: %.2f ms/sample", 1000 * per_sample)
 
     return {
         "dataset": dataset,

@@ -18,12 +18,16 @@ domain data** — the property that lets the downstream models stay frozen.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.nn.layers import BatchNorm1d, Dense, Dropout, LeakyReLU, ReLU, Sigmoid, Tanh
 from repro.nn.losses import BinaryCrossEntropy
 from repro.nn.network import Sequential, iterate_minibatches
 from repro.nn.optimizers import Adam
+from repro.obs.hooks import as_hook
+from repro.obs.metrics import get_metrics
 from repro.utils.errors import ValidationError
 from repro.utils.validation import (
     check_array,
@@ -128,10 +132,14 @@ class ConditionalGAN:
         )
 
     # -- training -------------------------------------------------------------
-    def fit(self, X_inv, X_var, y_onehot=None) -> "ConditionalGAN":
+    def fit(self, X_inv, X_var, y_onehot=None, *, hooks=None) -> "ConditionalGAN":
         """Train on source-domain triples ``(X_inv, X_var, Y)``.
 
-        ``y_onehot`` may be omitted when ``conditional=False``.
+        ``y_onehot`` may be omitted when ``conditional=False``.  ``hooks``
+        (a :class:`repro.obs.TrainingHook`, a list of them, or None) receives
+        per-epoch telemetry: D/G losses, epoch wall time and — for hooks with
+        ``wants_grad_norms`` — last-batch gradient norms.  Hooks never touch
+        the RNG, so training is byte-identical with or without them.
         """
         X_inv = check_array(X_inv, name="X_inv")
         X_var = check_array(X_var, name="X_var")
@@ -160,8 +168,15 @@ class ConditionalGAN:
         n = X_inv.shape[0]
         batch = min(self.batch_size, n)
         self.history_ = {"d_loss": [], "g_loss": []}
+        hook = as_hook(hooks)
+        registry = get_metrics()
+        telemetry = hook.active or registry.enabled
+        grad_norms = hook.wants_grad_norms
+        hook.on_train_begin(self, self.epochs)
 
-        for _ in range(self.epochs):
+        for epoch in range(self.epochs):
+            epoch_t0 = time.perf_counter() if telemetry else 0.0
+            d_grad_norm = g_grad_norm = 0.0
             d_losses, g_losses = [], []
             for idx in iterate_minibatches(n, batch, rng):
                 inv = X_inv[idx]
@@ -180,6 +195,8 @@ class ConditionalGAN:
                     d_real = self.discriminator_.forward(real_in, training=True)
                     loss_real = bce.forward(d_real, np.ones_like(d_real))
                     self.discriminator_.backward(bce.backward())
+                    if grad_norms:
+                        d_grad_norm = d_opt.grad_norm()
                     d_opt.step()
                     d_opt.zero_grad()
                     d_fake = self.discriminator_.forward(fake_in, training=True)
@@ -200,13 +217,36 @@ class ConditionalGAN:
                 # only the generated slice of D's input reaches the generator
                 grad_fake = grad_d_in[:, self.n_invariant_:self.n_invariant_ + self.n_variant_]
                 self.generator_.backward(grad_fake)
+                if grad_norms:
+                    g_grad_norm = g_opt.grad_norm()
                 g_opt.step()
                 g_opt.zero_grad()
                 d_opt.zero_grad()  # discard D grads from the generator pass
                 g_losses.append(g_loss)
 
-            self.history_["d_loss"].append(float(np.mean(d_losses)))
-            self.history_["g_loss"].append(float(np.mean(g_losses)))
+            d_loss = float(np.mean(d_losses))
+            g_loss = float(np.mean(g_losses))
+            self.history_["d_loss"].append(d_loss)
+            self.history_["g_loss"].append(g_loss)
+            if telemetry:
+                seconds = time.perf_counter() - epoch_t0
+                if registry.enabled:
+                    registry.histogram("gan_epoch_seconds").observe(seconds)
+                    registry.histogram("gan_d_loss").observe(d_loss)
+                    registry.histogram("gan_g_loss").observe(g_loss)
+                if hook.active:
+                    logs = {"d_loss": d_loss, "g_loss": g_loss, "seconds": seconds}
+                    if grad_norms:
+                        logs["d_grad_norm"] = d_grad_norm
+                        logs["g_grad_norm"] = g_grad_norm
+                    hook.on_epoch_end(epoch, logs)
+        hook.on_train_end(
+            {
+                "epochs": self.epochs,
+                "d_loss": self.history_["d_loss"][-1],
+                "g_loss": self.history_["g_loss"][-1],
+            }
+        )
         return self
 
     def _d_input(self, inv: np.ndarray, var: np.ndarray,

@@ -9,11 +9,15 @@ output) as §VI-E specifies.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.nn.layers import BatchNorm1d, Dense, ReLU, Tanh
 from repro.nn.network import Sequential, iterate_minibatches
 from repro.nn.optimizers import Adam
+from repro.obs.hooks import as_hook
+from repro.obs.metrics import get_metrics
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_array, check_is_fitted, check_random_state
 
@@ -63,8 +67,12 @@ class ConditionalVAE:
         self.n_variant_: int | None = None
         self.history_: list[float] = []
 
-    def fit(self, X_inv, X_var, y_onehot=None) -> "ConditionalVAE":
-        """Train on source triples; ``y_onehot`` accepted for API parity (unused)."""
+    def fit(self, X_inv, X_var, y_onehot=None, *, hooks=None) -> "ConditionalVAE":
+        """Train on source triples; ``y_onehot`` accepted for API parity (unused).
+
+        ``hooks`` receives per-epoch telemetry (loss, wall time, optional
+        gradient norm) exactly like the GAN loop.
+        """
         X_inv = check_array(X_inv, name="X_inv")
         X_var = check_array(X_var, name="X_var")
         if X_inv.shape[0] != X_var.shape[0]:
@@ -107,7 +115,14 @@ class ConditionalVAE:
         n = X_inv.shape[0]
         batch = min(self.batch_size, n)
         self.history_ = []
-        for _ in range(self.epochs):
+        hook = as_hook(hooks)
+        registry = get_metrics()
+        telemetry = hook.active or registry.enabled
+        grad_norms = hook.wants_grad_norms
+        hook.on_train_begin(self, self.epochs)
+        for epoch in range(self.epochs):
+            epoch_t0 = time.perf_counter() if telemetry else 0.0
+            grad_norm = 0.0
             losses = []
             for idx in iterate_minibatches(n, batch, rng):
                 inv, var = X_inv[idx], X_var[idx]
@@ -142,9 +157,23 @@ class ConditionalVAE:
                     grad_logvar
                 )
                 self.encoder_.backward(grad_enc)
+                if grad_norms:
+                    grad_norm = opt.grad_norm()
                 opt.step()
                 opt.zero_grad()
-            self.history_.append(float(np.mean(losses)))
+            loss = float(np.mean(losses))
+            self.history_.append(loss)
+            if telemetry:
+                seconds = time.perf_counter() - epoch_t0
+                if registry.enabled:
+                    registry.histogram("vae_epoch_seconds").observe(seconds)
+                    registry.histogram("vae_loss").observe(loss)
+                if hook.active:
+                    logs = {"loss": loss, "seconds": seconds}
+                    if grad_norms:
+                        logs["grad_norm"] = grad_norm
+                    hook.on_epoch_end(epoch, logs)
+        hook.on_train_end({"epochs": self.epochs, "loss": self.history_[-1]})
         return self
 
     def generate(self, X_inv, *, n_draws: int = 1, random_state=None) -> np.ndarray:

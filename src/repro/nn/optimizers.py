@@ -28,6 +28,13 @@ class Optimizer:
             for key in layer.grads:
                 layer.grads[key][...] = 0.0
 
+    def grad_norm(self) -> float:
+        """Global L2 norm of all current gradients (training-telemetry hooks)."""
+        total = 0.0
+        for _, _, grad in self._iter_params():
+            total += float(np.dot(grad.ravel(), grad.ravel()))
+        return float(np.sqrt(total))
+
     def _iter_params(self):
         for li, layer in enumerate(self.layers):
             for key in layer.params:

@@ -1,0 +1,96 @@
+"""repro.obs — tracing, metrics, training telemetry and structured logging.
+
+The observability layer of the reproduction (see DESIGN.md and the README's
+*Observability* section).  Everything defaults to shared no-op singletons,
+so the library is silent and byte-identical in behaviour until a consumer
+installs real collectors — most conveniently through :class:`RunRecorder`
+(the CLI's ``--trace`` flag does exactly that)::
+
+    from repro.obs import RunRecorder
+
+    with RunRecorder("runs/my-run", manifest={"seed": 0}) as rec:
+        pipeline.fit(...)          # spans, metrics and events collected
+    # runs/my-run/{trace,metrics,manifest}.json + events.jsonl written
+"""
+
+from repro.obs.export import (
+    NULL_EVENT_LOG,
+    EventLog,
+    NullEventLog,
+    RunRecorder,
+    get_event_log,
+    run_dir_name,
+    set_event_log,
+)
+from repro.obs.hooks import (
+    NULL_HOOK,
+    HistoryHook,
+    HookList,
+    LoggingHook,
+    MetricsHook,
+    TrainingHook,
+    as_hook,
+    default_hooks,
+)
+from repro.obs.logging import (
+    configure_logging,
+    get_logger,
+    verbosity_to_level,
+)
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Stopwatch,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "HistoryHook",
+    "HookList",
+    "LoggingHook",
+    "MetricsHook",
+    "MetricsRegistry",
+    "NULL_EVENT_LOG",
+    "NULL_HOOK",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullEventLog",
+    "NullRegistry",
+    "NullTracer",
+    "RunRecorder",
+    "Span",
+    "Stopwatch",
+    "Tracer",
+    "TrainingHook",
+    "as_hook",
+    "configure_logging",
+    "default_hooks",
+    "get_event_log",
+    "get_logger",
+    "get_metrics",
+    "get_tracer",
+    "run_dir_name",
+    "set_event_log",
+    "set_metrics",
+    "set_tracer",
+    "use_tracer",
+    "verbosity_to_level",
+]

@@ -1,0 +1,166 @@
+"""JSONL event log, run manifests and the observability session.
+
+:class:`EventLog` accumulates structured events (drift observations,
+per-feature FS decisions, runner cell progress, …) that export as JSONL.
+:class:`RunRecorder` bundles a fresh tracer + metrics registry + event log,
+installs them as the process-global instances for the duration of a ``with``
+block, and on exit writes the run's artifacts::
+
+    runs/<run-name>/trace.json      # hierarchical span tree
+    runs/<run-name>/metrics.json    # counters / gauges / histogram summaries
+    runs/<run-name>/events.jsonl    # one JSON object per line
+    runs/<run-name>/manifest.json   # run parameters (seed-keyed, timestamp-free)
+
+Run directories are deliberately timestamp-free and seed-keyed
+(:func:`run_dir_name`) so re-running the same configuration overwrites the
+same artifacts — diffs between runs are then meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.obs.trace import Tracer, _jsonable, set_tracer
+from repro.utils.errors import ValidationError
+
+
+class EventLog:
+    """Append-only structured event collector."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, kind: str, **fields) -> None:
+        """Record one event; ``kind`` names the event type."""
+        self.events.append({"kind": kind, **_jsonable(fields)})
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(event) for event in self.events)
+
+
+class NullEventLog(EventLog):
+    """No-op event log: ``emit`` discards everything."""
+
+    enabled = False
+
+    def emit(self, kind: str, **fields) -> None:
+        return None
+
+
+NULL_EVENT_LOG = NullEventLog()
+_event_log: EventLog = NULL_EVENT_LOG
+
+
+def get_event_log() -> EventLog:
+    """The process-global event log (no-op unless a session installed one)."""
+    return _event_log
+
+
+def set_event_log(log: EventLog | None) -> EventLog:
+    """Install ``log`` globally (None resets to the no-op); returns the old one."""
+    global _event_log
+    if log is not None and not isinstance(log, EventLog):
+        raise ValidationError("set_event_log expects an EventLog or None")
+    previous = _event_log
+    _event_log = log if log is not None else NULL_EVENT_LOG
+    return previous
+
+
+def run_dir_name(command: str, **key_parts) -> str:
+    """Deterministic run-directory name: ``<command>[-k=v...]``, timestamp-free."""
+    parts = [command]
+    for key in sorted(key_parts):
+        value = key_parts[key]
+        if value is None:
+            continue
+        parts.append(f"{key}={value}")
+    return "-".join(parts)
+
+
+class RunRecorder:
+    """One observability session: collects, then persists, a run's telemetry.
+
+    Parameters
+    ----------
+    run_dir:
+        Directory receiving ``trace.json`` / ``metrics.json`` /
+        ``events.jsonl`` / ``manifest.json``.  None collects without writing
+        the bundle (useful with ``metrics_path`` alone).
+    metrics_path:
+        Optional extra/standalone destination for ``metrics.json``.
+    manifest:
+        Run parameters recorded verbatim in ``manifest.json``.
+    """
+
+    def __init__(
+        self,
+        run_dir: str | os.PathLike | None = None,
+        *,
+        metrics_path: str | os.PathLike | None = None,
+        manifest: dict | None = None,
+    ) -> None:
+        if run_dir is None and metrics_path is None:
+            raise ValidationError("RunRecorder needs a run_dir or a metrics_path")
+        self.run_dir = os.fspath(run_dir) if run_dir is not None else None
+        self.metrics_path = os.fspath(metrics_path) if metrics_path is not None else None
+        self.manifest = dict(manifest or {})
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.events = EventLog()
+        self._previous: tuple | None = None
+
+    def __enter__(self) -> "RunRecorder":
+        self._previous = (
+            set_tracer(self.tracer),
+            set_metrics(self.metrics),
+            set_event_log(self.events),
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        prev_tracer, prev_metrics, prev_events = self._previous
+        set_tracer(prev_tracer)
+        set_metrics(prev_metrics)
+        set_event_log(prev_events)
+        self._previous = None
+        if exc_type is None:
+            self.write()
+
+    def write(self) -> list[str]:
+        """Persist all artifacts; returns the paths written."""
+        written: list[str] = []
+        if self.run_dir is not None:
+            os.makedirs(self.run_dir, exist_ok=True)
+            written.append(self._dump(
+                os.path.join(self.run_dir, "trace.json"), self.tracer.to_json()
+            ))
+            written.append(self._dump(
+                os.path.join(self.run_dir, "metrics.json"), self.metrics.to_json()
+            ))
+            written.append(self._dump(
+                os.path.join(self.run_dir, "events.jsonl"),
+                self.events.to_jsonl() + ("\n" if self.events.events else ""),
+            ))
+            written.append(self._dump(
+                os.path.join(self.run_dir, "manifest.json"),
+                json.dumps(_jsonable(self.manifest), indent=2),
+            ))
+        if self.metrics_path is not None:
+            parent = os.path.dirname(self.metrics_path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            written.append(self._dump(self.metrics_path, self.metrics.to_json()))
+        return written
+
+    @staticmethod
+    def _dump(path: str, text: str) -> str:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        return path

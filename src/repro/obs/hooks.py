@@ -1,0 +1,165 @@
+"""Training telemetry hooks for the generative-model training loops.
+
+The CTGAN / VAE / vanilla-AE ``fit`` loops accept a ``hooks`` argument and
+invoke it around training::
+
+    hook.on_train_begin(model, n_epochs)
+    hook.on_epoch_end(epoch, {"d_loss": ..., "g_loss": ..., "seconds": ...})
+    hook.on_train_end({"epochs": ...})
+
+``hooks`` may be None (default — the shared no-op, zero overhead), a single
+:class:`TrainingHook`, or a list of them; loops normalize via
+:func:`as_hook`.  Hooks advertising ``wants_grad_norms = True`` additionally
+receive per-epoch global gradient L2 norms (computed from the optimizers via
+:meth:`repro.nn.optimizers.Optimizer.grad_norm`) — the norms are only
+computed when some hook asks, keeping the silent path untouched.
+"""
+
+from __future__ import annotations
+
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_metrics
+from repro.utils.errors import ValidationError
+
+
+class TrainingHook:
+    """Base callback; subclasses override the phases they care about.
+
+    ``active`` is False only on the shared null hook, letting training loops
+    skip per-epoch timing entirely when no telemetry is requested.
+    """
+
+    active = True
+    wants_grad_norms = False
+
+    def on_train_begin(self, model, n_epochs: int) -> None:
+        pass
+
+    def on_epoch_end(self, epoch: int, logs: dict) -> None:
+        pass
+
+    def on_train_end(self, logs: dict) -> None:
+        pass
+
+
+class _NullHook(TrainingHook):
+    active = False
+
+
+NULL_HOOK = _NullHook()
+
+
+class HookList(TrainingHook):
+    """Composite hook fanning every callback out to its members in order."""
+
+    def __init__(self, hooks) -> None:
+        self.hooks = list(hooks)
+        for hook in self.hooks:
+            if not isinstance(hook, TrainingHook):
+                raise ValidationError(
+                    f"hooks must be TrainingHook instances, got {type(hook).__name__}"
+                )
+
+    @property
+    def wants_grad_norms(self) -> bool:  # type: ignore[override]
+        return any(h.wants_grad_norms for h in self.hooks)
+
+    def on_train_begin(self, model, n_epochs: int) -> None:
+        for hook in self.hooks:
+            hook.on_train_begin(model, n_epochs)
+
+    def on_epoch_end(self, epoch: int, logs: dict) -> None:
+        for hook in self.hooks:
+            hook.on_epoch_end(epoch, logs)
+
+    def on_train_end(self, logs: dict) -> None:
+        for hook in self.hooks:
+            hook.on_train_end(logs)
+
+
+def as_hook(hooks) -> TrainingHook:
+    """Normalize None / a hook / a sequence of hooks to one TrainingHook."""
+    if hooks is None:
+        return NULL_HOOK
+    if isinstance(hooks, TrainingHook):
+        return hooks
+    return HookList(hooks)
+
+
+class HistoryHook(TrainingHook):
+    """Records every per-epoch ``logs`` dict (plus begin/end call counts)."""
+
+    def __init__(self, *, grad_norms: bool = False) -> None:
+        self.wants_grad_norms = grad_norms
+        self.epochs: list[dict] = []
+        self.n_train_begin = 0
+        self.n_train_end = 0
+        self.model = None
+
+    def on_train_begin(self, model, n_epochs: int) -> None:
+        self.n_train_begin += 1
+        self.model = model
+
+    def on_epoch_end(self, epoch: int, logs: dict) -> None:
+        self.epochs.append({"epoch": epoch, **logs})
+
+    def on_train_end(self, logs: dict) -> None:
+        self.n_train_end += 1
+
+
+class MetricsHook(TrainingHook):
+    """Feeds per-epoch scalars into the global metrics registry.
+
+    Every numeric entry of ``logs`` becomes a histogram observation named
+    ``<prefix>_<key>`` (e.g. ``gan_epoch_seconds`` from the ``seconds``
+    timing with the default ``prefix='gan_epoch'``).
+    """
+
+    def __init__(self, prefix: str = "gan_epoch", *, grad_norms: bool = False) -> None:
+        self.prefix = prefix
+        self.wants_grad_norms = grad_norms
+
+    def on_epoch_end(self, epoch: int, logs: dict) -> None:
+        registry = get_metrics()
+        for key, value in logs.items():
+            if isinstance(value, (int, float)):
+                registry.histogram(f"{self.prefix}_{key}").observe(value)
+
+    def on_train_end(self, logs: dict) -> None:
+        registry = get_metrics()
+        for key, value in logs.items():
+            if isinstance(value, (int, float)):
+                registry.gauge(f"{self.prefix}_final_{key}").set(value)
+
+
+class LoggingHook(TrainingHook):
+    """Logs training progress through the structured repro logger."""
+
+    def __init__(self, name: str = "train", *, every: int = 1) -> None:
+        if every < 1:
+            raise ValidationError("every must be >= 1")
+        self.name = name
+        self.every = every
+        self._logger = get_logger("repro.obs.hooks")
+
+    def on_train_begin(self, model, n_epochs: int) -> None:
+        self._logger.info(
+            "%s: training %s for %d epochs",
+            self.name, type(model).__name__, n_epochs,
+        )
+
+    def on_epoch_end(self, epoch: int, logs: dict) -> None:
+        if epoch % self.every:
+            return
+        scalars = " ".join(
+            f"{k}={v:.4g}" for k, v in logs.items() if isinstance(v, (int, float))
+        )
+        self._logger.debug("%s: epoch %d %s", self.name, epoch, scalars)
+
+    def on_train_end(self, logs: dict) -> None:
+        self._logger.info("%s: training finished (%s)", self.name, logs)
+
+
+def default_hooks(prefix: str) -> TrainingHook:
+    """The hook bundle the observability session wires into training loops."""
+    return HookList([MetricsHook(prefix), LoggingHook(prefix, every=50)])

@@ -1,0 +1,80 @@
+"""Structured stdlib logging for repro.
+
+All repro modules log through children of the ``repro`` logger obtained via
+:func:`get_logger`.  Nothing is emitted until the logger is configured —
+either explicitly with :func:`configure_logging` (the CLI's ``--log-level``
+/ ``-v`` flags call it) or implicitly from the ``REPRO_LOG_LEVEL``
+environment variable on first use.  The default level is WARNING, so
+library consumers see nothing unless they opt in.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+from repro.utils.errors import ValidationError
+
+ROOT_LOGGER_NAME = "repro"
+ENV_LOG_LEVEL = "REPRO_LOG_LEVEL"
+_LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s :: %(message)s"
+_configured = False
+
+
+def _coerce_level(level) -> int:
+    if isinstance(level, int):
+        return level
+    name = str(level).strip().upper()
+    value = logging.getLevelName(name)
+    if not isinstance(value, int):
+        raise ValidationError(
+            f"unknown log level {level!r}; use DEBUG/INFO/WARNING/ERROR"
+        )
+    return value
+
+
+def configure_logging(level=None, *, stream=None, force: bool = False) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger and set its level.
+
+    ``level`` defaults to ``$REPRO_LOG_LEVEL`` or WARNING.  Re-configuring is
+    a level change only unless ``force`` replaces the handler (used by tests
+    to redirect the stream).
+    """
+    global _configured
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    resolved = _coerce_level(
+        level if level is not None else os.environ.get(ENV_LOG_LEVEL, "WARNING")
+    )
+    if force:
+        for handler in list(root.handlers):
+            root.removeHandler(handler)
+        _configured = False
+    if not _configured:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(logging.Formatter(_LOG_FORMAT))
+        root.addHandler(handler)
+        root.propagate = False
+        _configured = True
+    root.setLevel(resolved)
+    return root
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A child of the ``repro`` logger, lazily configured from the env."""
+    if not _configured:
+        configure_logging()
+    if not name or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if not name.startswith(ROOT_LOGGER_NAME + "."):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def verbosity_to_level(verbose: int) -> int:
+    """Map ``-v`` counts to levels: 0 → WARNING, 1 → INFO, 2+ → DEBUG."""
+    if verbose <= 0:
+        return logging.WARNING
+    if verbose == 1:
+        return logging.INFO
+    return logging.DEBUG

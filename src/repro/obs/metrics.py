@@ -1,0 +1,191 @@
+"""Metrics registry: counters, gauges and histograms with percentiles.
+
+The registry backs the §VI-D scaling story with continuously collected
+numbers — e.g. ``ci_tests_total`` (counter), ``ci_test_seconds`` and
+``gan_epoch_seconds`` (histograms with p50/p90/p99 summaries), or
+``fs_n_variant`` (gauge).  As with tracing, the process-global default is
+:data:`NULL_REGISTRY`, whose metric objects are shared no-ops, so
+instrumentation in hot loops is free when metrics are disabled.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValidationError("counters only go up; use a gauge instead")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming collection of observations with percentile summaries."""
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0–100) of the observations."""
+        if not 0.0 <= q <= 100.0:
+            raise ValidationError("percentile q must be in [0, 100]")
+        if not self.values:
+            return float("nan")
+        return float(np.percentile(self.values, q))
+
+    def summary(self) -> dict:
+        """Count, sum, mean, min/max and the standard percentile trio."""
+        if not self.values:
+            return {"count": 0}
+        arr = np.asarray(self.values)
+        p50, p90, p99 = np.percentile(arr, (50, 90, 99))
+        return {
+            "count": int(arr.size),
+            "sum": float(arr.sum()),
+            "mean": float(arr.mean()),
+            "min": float(arr.min()),
+            "max": float(arr.max()),
+            "p50": float(p50),
+            "p90": float(p90),
+            "p99": float(p99),
+        }
+
+    def to_dict(self) -> dict:
+        return {"type": "histogram", **self.summary()}
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        return None
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        return None
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+class MetricsRegistry:
+    """Named metric store; metrics are created lazily on first access."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls()
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ValidationError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def to_dict(self) -> dict:
+        return {name: self._metrics[name].to_dict() for name in self.names()}
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry(MetricsRegistry):
+    """No-op registry handing out shared inert metric objects."""
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> Histogram:
+        return _NULL_HISTOGRAM
+
+
+NULL_REGISTRY = NullRegistry()
+_registry: MetricsRegistry = NULL_REGISTRY
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry (no-op unless one is installed)."""
+    return _registry
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` globally (None resets); returns the previous one."""
+    global _registry
+    if registry is not None and not isinstance(registry, MetricsRegistry):
+        raise ValidationError("set_metrics expects a MetricsRegistry or None")
+    previous = _registry
+    _registry = registry if registry is not None else NULL_REGISTRY
+    return previous

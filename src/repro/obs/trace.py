@@ -1,0 +1,232 @@
+"""Hierarchical span tracing for the FS+GAN pipeline.
+
+A :class:`Tracer` records a forest of nested :class:`Span` objects — wall
+time, tags and children — via a context manager::
+
+    tracer = Tracer()
+    with tracer.span("fs.discover", n_features=112) as sp:
+        ...
+        sp.tag(n_tests=n_tests)
+
+The default global tracer is :data:`NULL_TRACER`, a no-op whose ``span``
+returns a shared, stateless context manager — instrumented hot paths cost a
+single attribute lookup and method call when tracing is disabled, and write
+no state at all (tier-1 timing and RNG behaviour are unaffected).
+
+Traces export as JSON (``to_dict`` / ``to_json``) or as a flame-style text
+tree (``format_tree``) mirroring the §VI-D cost decomposition.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+
+from repro.utils.errors import ValidationError
+
+
+class Span:
+    """One timed operation: name, tags, wall-clock bounds and child spans."""
+
+    __slots__ = ("name", "tags", "start", "end", "children")
+
+    def __init__(self, name: str, tags: dict | None = None) -> None:
+        self.name = name
+        self.tags = dict(tags) if tags else {}
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        self.children: list["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (up to now for a still-open span)."""
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+    def tag(self, **tags) -> "Span":
+        """Attach/overwrite tags while the span is running."""
+        self.tags.update(tags)
+        return self
+
+    def find(self, name: str) -> "Span | None":
+        """Depth-first search of the subtree (including self) by span name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self, *, origin: float | None = None) -> dict:
+        """JSON-ready representation; offsets are relative to ``origin``."""
+        base = self.start if origin is None else origin
+        return {
+            "name": self.name,
+            "start": self.start - base,
+            "duration": self.duration,
+            "tags": _jsonable(self.tags),
+            "children": [c.to_dict(origin=base) for c in self.children],
+        }
+
+
+class _NullSpan:
+    """Stateless stand-in yielded by the null tracer."""
+
+    __slots__ = ()
+    name = ""
+    tags: dict = {}
+    children: list = []
+    duration = 0.0
+
+    def tag(self, **tags) -> "_NullSpan":
+        return self
+
+    def find(self, name: str):
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects a forest of nested spans via a thread-unsafe stack.
+
+    ``enabled`` distinguishes a recording tracer from :data:`NULL_TRACER`;
+    hot paths may use it to skip even the cost of building tag dicts.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **tags):
+        """Open a child span of the innermost running span (or a new root)."""
+        sp = Span(name, tags)
+        if self._stack:
+            self._stack[-1].children.append(sp)
+        else:
+            self.roots.append(sp)
+        self._stack.append(sp)
+        try:
+            yield sp
+        finally:
+            sp.end = time.perf_counter()
+            self._stack.pop()
+
+    def find(self, name: str) -> Span | None:
+        """First span with the given name, depth-first over all roots."""
+        for root in self.roots:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self) -> dict:
+        origin = self.roots[0].start if self.roots else 0.0
+        return {"spans": [r.to_dict(origin=origin) for r in self.roots]}
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def format_tree(self) -> str:
+        """Flame-style text rendering, one line per span."""
+        lines: list[str] = []
+
+        def render(span: Span, depth: int) -> None:
+            tags = " ".join(f"{k}={v}" for k, v in span.tags.items())
+            pad = "  " * depth
+            lines.append(
+                f"{pad}{span.name:<{max(1, 40 - 2 * depth)}} "
+                f"{span.duration * 1000:10.2f} ms{('  ' + tags) if tags else ''}"
+            )
+            for child in span.children:
+                render(child, depth + 1)
+
+        for root in self.roots:
+            render(root, 0)
+        return "\n".join(lines)
+
+
+class NullTracer(Tracer):
+    """No-op tracer: records nothing, allocates nothing per span."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def span(self, name: str, **tags):  # type: ignore[override]
+        return NULL_SPAN
+
+
+NULL_TRACER = NullTracer()
+_tracer: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (the no-op tracer unless one is installed)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` globally (None resets to the no-op); returns the old one."""
+    global _tracer
+    if tracer is not None and not isinstance(tracer, Tracer):
+        raise ValidationError("set_tracer expects a Tracer or None")
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Temporarily install ``tracer`` as the global tracer."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+class Stopwatch:
+    """Tiny timing helper for code that needs the elapsed seconds as a value."""
+
+    __slots__ = ("start", "end")
+
+    def __enter__(self) -> "Stopwatch":
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.end = time.perf_counter()
+
+    @property
+    def seconds(self) -> float:
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays so json.dumps succeeds."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except (AttributeError, ValueError):
+            pass
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return value

@@ -1,0 +1,135 @@
+"""CLI-level observability tests: --trace artifact bundle, --seed propagation
+to every subcommand, and the no-flags (disabled) default."""
+
+import json
+
+import pytest
+
+import repro.cli as cli
+from repro.datasets import FiveGCConfig, FiveGIPCConfig
+from repro.experiments.presets import ExperimentPreset, ModelParams
+
+
+@pytest.fixture()
+def micro_preset(monkeypatch):
+    """Shrink every subcommand to seconds and pin the preset lookup."""
+    preset = ExperimentPreset(
+        name="micro",
+        fivegc=FiveGCConfig(n_source=320, n_target=300, feature_scale=0.12),
+        fivegipc=FiveGIPCConfig(sample_scale=0.05, feature_scale=0.5),
+        models=ModelParams(
+            tnet_epochs=8, mlp_epochs=10, rf_estimators=5, rf_max_depth=6,
+            xgb_estimators=3, xgb_max_depth=2, xgb_max_features=0.4,
+        ),
+        gan_epochs=20,
+        gan_noise_dim=4,
+        gan_hidden=32,
+        repeats=1,
+        shots=(1, 5),
+        baseline_epochs=8,
+        episodes=20,
+    )
+    monkeypatch.setattr(cli, "get_preset", lambda name=None: preset)
+    return preset
+
+
+class TestTraceFlag:
+    def test_runtime_trace_writes_valid_bundle(
+        self, micro_preset, tmp_path, capsys
+    ):
+        runs_dir = tmp_path / "runs"
+        rc = cli.main([
+            "runtime", "--dataset", "5gc", "--seed", "0",
+            "--trace", "--runs-dir", str(runs_dir),
+        ])
+        assert rc == 0
+        run_dir = runs_dir / "runtime-dataset=5gc-preset=micro-seed=0"
+        assert run_dir.is_dir()
+
+        trace = json.loads((run_dir / "trace.json").read_text())
+        names = {s["name"] for s in trace["spans"]}
+        assert {"runtime.fs", "runtime.gan", "runtime.inference"} <= names
+
+        def descendants(span):
+            for child in span["children"]:
+                yield child
+                yield from descendants(child)
+
+        fs_root = next(s for s in trace["spans"] if s["name"] == "runtime.fs")
+        batch_spans = [
+            s for s in descendants(fs_root) if s["name"] == "fs.ci_batch"
+        ]
+        assert batch_spans, "FS span must decompose into CI-test batches"
+
+        metrics = json.loads((run_dir / "metrics.json").read_text())
+        assert metrics["ci_tests_total"]["value"] > 0
+        timing = metrics["ci_test_seconds"]
+        assert timing["count"] == metrics["ci_tests_total"]["value"]
+        assert {"p50", "p90", "p99"} <= set(timing)
+        assert metrics["gan_epoch_seconds"]["count"] == micro_preset.gan_epochs
+
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest == {
+            "command": "runtime", "dataset": "5gc",
+            "preset": "micro", "seed": 0,
+        }
+        # events.jsonl is valid JSONL with per-feature FS decisions
+        events = [
+            json.loads(line)
+            for line in (run_dir / "events.jsonl").read_text().splitlines()
+        ]
+        assert any(e["kind"] == "fs.feature_decision" for e in events)
+
+        err = capsys.readouterr().err
+        assert "[obs] telemetry written to" in err
+
+    def test_metrics_out_without_trace(self, micro_preset, tmp_path):
+        path = tmp_path / "m.json"
+        rc = cli.main([
+            "counts", "--dataset", "5gc", "--metrics-out", str(path),
+        ])
+        assert rc == 0
+        metrics = json.loads(path.read_text())
+        assert metrics["ci_tests_total"]["value"] > 0
+        assert not (tmp_path / "runs").exists()
+
+    def test_disabled_by_default(self, micro_preset, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert cli.main(["counts", "--dataset", "5gc"]) == 0
+        assert list(tmp_path.iterdir()) == []  # no runs/, no artifacts
+
+
+class TestSeedPropagation:
+    CASES = [
+        ("table1", "run_table1", ["table1", "--dataset", "5gc"]),
+        ("ablation", "run_ablation", ["ablation", "--dataset", "5gc"]),
+        ("multitarget", "run_multitarget", ["multitarget"]),
+        ("counts", "variant_counts", ["counts", "--dataset", "5gc"]),
+        ("runtime", "measure_runtime", ["runtime", "--dataset", "5gc"]),
+    ]
+
+    @pytest.mark.parametrize("command,runner,argv", CASES)
+    def test_seed_reaches_runner(self, command, runner, argv, monkeypatch):
+        captured = {}
+
+        def fake_runner(*args, **kwargs):
+            captured.update(kwargs)
+            return []
+
+        monkeypatch.setattr(cli, runner, fake_runner)
+        for fmt in ("format_table1", "format_ablation", "format_multitarget",
+                    "format_variant_counts", "format_runtime"):
+            monkeypatch.setattr(cli, fmt, lambda *a, **k: "")
+        monkeypatch.setattr(
+            cli, "summarize_improvement", lambda *a, **k: {"best_other": None}
+        )
+        assert cli.main(argv + ["--seed", "7"]) == 0
+        assert captured["random_state"] == 7, f"{command} dropped --seed"
+
+
+class TestLoggingFlags:
+    def test_log_level_and_verbose_accepted(self, micro_preset, monkeypatch):
+        monkeypatch.setattr(cli, "variant_counts", lambda *a, **k: [])
+        monkeypatch.setattr(cli, "format_variant_counts", lambda *a, **k: "")
+        assert cli.main(["counts", "--log-level", "DEBUG"]) == 0
+        assert cli.main(["counts", "-vv"]) == 0

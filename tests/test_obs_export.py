@@ -1,0 +1,116 @@
+"""Tests for event logging and run-bundle export (repro.obs.export)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.export import (
+    NULL_EVENT_LOG,
+    EventLog,
+    NullEventLog,
+    RunRecorder,
+    get_event_log,
+    run_dir_name,
+    set_event_log,
+)
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
+from repro.utils.errors import ValidationError
+
+
+class TestEventLog:
+    def test_emit_and_jsonl(self):
+        log = EventLog()
+        log.emit("fs.feature_decision", feature=3, p_value=0.01, variant=True)
+        log.emit("drift.observe", jaccard=0.5)
+        assert len(log) == 2
+        lines = log.to_jsonl().splitlines()
+        first = json.loads(lines[0])
+        assert first == {
+            "kind": "fs.feature_decision", "feature": 3,
+            "p_value": 0.01, "variant": True,
+        }
+        assert json.loads(lines[1])["kind"] == "drift.observe"
+
+    def test_numpy_values_serialize(self):
+        log = EventLog()
+        log.emit(
+            "e",
+            i=np.int64(4),
+            f=np.float32(0.5),
+            arr=np.array([1, 2]),
+            b=np.bool_(True),
+        )
+        parsed = json.loads(log.to_jsonl())
+        assert parsed == {"kind": "e", "i": 4, "f": 0.5, "arr": [1, 2], "b": True}
+
+    def test_null_log_discards(self):
+        log = NullEventLog()
+        log.emit("anything", x=1)
+        assert len(log) == 0 and not log.enabled
+
+    def test_default_global_is_null(self):
+        assert get_event_log() is NULL_EVENT_LOG
+
+    def test_set_event_log_validates(self):
+        with pytest.raises(ValidationError):
+            set_event_log(42)
+
+
+class TestRunDirName:
+    def test_deterministic_sorted_and_none_skipped(self):
+        name = run_dir_name("runtime", seed=0, dataset="5gc", preset=None)
+        assert name == "runtime-dataset=5gc-seed=0"
+        assert run_dir_name("counts") == "counts"
+
+
+class TestRunRecorder:
+    def test_requires_some_destination(self):
+        with pytest.raises(ValidationError):
+            RunRecorder()
+
+    def test_installs_and_restores_globals(self, tmp_path):
+        rec = RunRecorder(tmp_path / "run")
+        with rec:
+            assert get_tracer() is rec.tracer
+            assert get_metrics() is rec.metrics
+            assert get_event_log() is rec.events
+        assert get_tracer() is not rec.tracer
+        assert not get_metrics().enabled
+        assert not get_event_log().enabled
+
+    def test_writes_all_four_artifacts(self, tmp_path):
+        run_dir = tmp_path / "runs" / "demo"
+        with RunRecorder(run_dir, manifest={"seed": 3}) as rec:
+            with rec.tracer.span("op", n=1):
+                pass
+            rec.metrics.counter("hits").inc(2)
+            rec.events.emit("ping", ok=True)
+        trace = json.loads((run_dir / "trace.json").read_text())
+        assert trace["spans"][0]["name"] == "op"
+        metrics = json.loads((run_dir / "metrics.json").read_text())
+        assert metrics["hits"]["value"] == 2
+        events = [
+            json.loads(line)
+            for line in (run_dir / "events.jsonl").read_text().splitlines()
+        ]
+        assert events == [{"kind": "ping", "ok": True}]
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest == {"seed": 3}
+
+    def test_no_write_on_exception(self, tmp_path):
+        run_dir = tmp_path / "boom"
+        with pytest.raises(RuntimeError):
+            with RunRecorder(run_dir):
+                raise RuntimeError("fail")
+        assert not run_dir.exists()
+        # and the globals are still restored
+        assert not get_metrics().enabled
+
+    def test_standalone_metrics_path(self, tmp_path):
+        path = tmp_path / "deep" / "metrics.json"
+        with RunRecorder(metrics_path=path) as rec:
+            rec.metrics.gauge("g").set(1.0)
+        assert json.loads(path.read_text())["g"]["value"] == 1.0
+        assert not (tmp_path / "trace.json").exists()

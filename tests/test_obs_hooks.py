@@ -1,0 +1,165 @@
+"""Tests for training telemetry hooks (repro.obs.hooks) wired into the
+generative training loops."""
+
+import numpy as np
+import pytest
+
+from repro.gan import ConditionalGAN, ConditionalVAE, VanillaAutoencoder
+from repro.obs.hooks import (
+    NULL_HOOK,
+    HistoryHook,
+    HookList,
+    MetricsHook,
+    TrainingHook,
+    as_hook,
+)
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.utils.errors import ValidationError
+
+EPOCHS = 3
+
+
+@pytest.fixture(scope="module")
+def training_data():
+    rng = np.random.default_rng(0)
+    X_inv = rng.normal(size=(48, 5))
+    X_var = X_inv[:, :3] @ rng.normal(size=(3, 2)) + 0.1 * rng.normal(size=(48, 2))
+    y = rng.integers(0, 2, size=48)
+    y_onehot = np.eye(2)[y]
+    return X_inv, X_var, y_onehot
+
+
+def tiny_gan(**kw):
+    return ConditionalGAN(
+        noise_dim=3, hidden_size=8, epochs=EPOCHS, batch_size=16,
+        random_state=0, **kw,
+    )
+
+
+class TestAsHook:
+    def test_none_is_inactive_null(self):
+        hook = as_hook(None)
+        assert hook is NULL_HOOK
+        assert not hook.active
+        # all phases are harmless no-ops
+        hook.on_train_begin(None, 5)
+        hook.on_epoch_end(0, {})
+        hook.on_train_end({})
+
+    def test_single_hook_passthrough(self):
+        hook = HistoryHook()
+        assert as_hook(hook) is hook
+
+    def test_list_becomes_composite(self):
+        a, b = HistoryHook(), HistoryHook()
+        hook = as_hook([a, b])
+        assert isinstance(hook, HookList)
+        hook.on_epoch_end(0, {"loss": 1.0})
+        assert len(a.epochs) == len(b.epochs) == 1
+
+    def test_non_hook_rejected(self):
+        with pytest.raises(ValidationError):
+            as_hook([object()])
+
+    def test_composite_grad_norm_opt_in(self):
+        assert not HookList([HistoryHook()]).wants_grad_norms
+        assert HookList([HistoryHook(), HistoryHook(grad_norms=True)]).wants_grad_norms
+
+
+class TestGANHooks:
+    def test_invocation_counts_and_logs(self, training_data):
+        X_inv, X_var, y_onehot = training_data
+        hook = HistoryHook()
+        gan = tiny_gan()
+        gan.fit(X_inv, X_var, y_onehot, hooks=hook)
+        assert hook.n_train_begin == 1
+        assert hook.n_train_end == 1
+        assert hook.model is gan
+        assert len(hook.epochs) == EPOCHS
+        assert [e["epoch"] for e in hook.epochs] == list(range(EPOCHS))
+        for logs in hook.epochs:
+            assert {"d_loss", "g_loss", "seconds"} <= set(logs)
+            assert logs["seconds"] >= 0.0
+            assert "d_grad_norm" not in logs  # not requested
+
+    def test_grad_norms_on_request(self, training_data):
+        X_inv, X_var, y_onehot = training_data
+        hook = HistoryHook(grad_norms=True)
+        tiny_gan().fit(X_inv, X_var, y_onehot, hooks=hook)
+        for logs in hook.epochs:
+            assert logs["d_grad_norm"] > 0.0
+            assert logs["g_grad_norm"] > 0.0
+
+    def test_hooks_do_not_change_training(self, training_data):
+        X_inv, X_var, y_onehot = training_data
+        plain = tiny_gan().fit(X_inv, X_var, y_onehot)
+        hooked = tiny_gan().fit(
+            X_inv, X_var, y_onehot, hooks=HistoryHook(grad_norms=True)
+        )
+        out_plain = plain.generate(X_inv, random_state=0)
+        out_hooked = hooked.generate(X_inv, random_state=0)
+        np.testing.assert_array_equal(out_plain, out_hooked)
+        assert plain.history_["d_loss"] == hooked.history_["d_loss"]
+
+
+class TestVAEAndAEHooks:
+    def test_vae_epochs(self, training_data):
+        X_inv, X_var, _ = training_data
+        hook = HistoryHook(grad_norms=True)
+        ConditionalVAE(
+            latent_dim=2, hidden_size=8, epochs=EPOCHS, batch_size=16, random_state=0
+        ).fit(X_inv, X_var, hooks=hook)
+        assert hook.n_train_begin == 1 and hook.n_train_end == 1
+        assert len(hook.epochs) == EPOCHS
+        for logs in hook.epochs:
+            assert {"loss", "seconds"} <= set(logs)
+            assert logs["grad_norm"] > 0.0
+
+    def test_autoencoder_epochs(self, training_data):
+        X_inv, X_var, _ = training_data
+        hook = HistoryHook()
+        VanillaAutoencoder(
+            hidden_size=8, epochs=EPOCHS, batch_size=16, random_state=0
+        ).fit(X_inv, X_var, hooks=hook)
+        assert len(hook.epochs) == EPOCHS
+        assert all("loss" in logs and "seconds" in logs for logs in hook.epochs)
+
+
+class TestMetricsHook:
+    def test_feeds_registry(self, training_data):
+        X_inv, X_var, y_onehot = training_data
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            tiny_gan().fit(X_inv, X_var, y_onehot, hooks=MetricsHook("ctgan"))
+        finally:
+            set_metrics(previous)
+        # hook-fed histograms (prefix 'ctgan') …
+        assert registry.histogram("ctgan_d_loss").count == EPOCHS
+        assert registry.histogram("ctgan_g_loss").count == EPOCHS
+        assert registry.gauge("ctgan_final_epochs").value == EPOCHS
+        # … plus the loop's own gan_* histograms, active whenever metrics are on
+        assert registry.histogram("gan_epoch_seconds").count == EPOCHS
+        assert registry.histogram("gan_epoch_seconds").summary()["p50"] > 0.0
+
+
+class TestCustomHook:
+    def test_subclass_receives_all_phases(self, training_data):
+        X_inv, X_var, _ = training_data
+
+        calls = []
+
+        class Probe(TrainingHook):
+            def on_train_begin(self, model, n_epochs):
+                calls.append(("begin", n_epochs))
+
+            def on_epoch_end(self, epoch, logs):
+                calls.append(("epoch", epoch))
+
+            def on_train_end(self, logs):
+                calls.append(("end", logs["epochs"]))
+
+        VanillaAutoencoder(
+            hidden_size=8, epochs=2, batch_size=16, random_state=0
+        ).fit(X_inv, X_var, hooks=Probe())
+        assert calls == [("begin", 2), ("epoch", 0), ("epoch", 1), ("end", 2)]

@@ -1,0 +1,144 @@
+"""Integration tests: observability threaded through FS, the pipeline and the
+drift monitor — plus the training-cache release contract."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FSConfig,
+    FSGANPipeline,
+    FeatureSeparator,
+    ReconstructionConfig,
+)
+from repro.core.monitor import DriftMonitor
+from repro.ml import MLPClassifier, MinMaxScaler
+from repro.obs import RunRecorder
+from repro.utils.errors import NotFittedError, ValidationError
+
+
+def fast_mlp():
+    return MLPClassifier(hidden_sizes=(32,), epochs=20, random_state=0)
+
+
+def small_pipeline():
+    return FSGANPipeline(
+        fast_mlp,
+        reconstruction_config=ReconstructionConfig(
+            epochs=5, noise_dim=2, hidden_size=8
+        ),
+        random_state=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def split_5gc(tiny_5gc):
+    X_few, y_few, X_test, y_test = tiny_5gc.few_shot_split(5, random_state=0)
+    return tiny_5gc, X_few, X_test
+
+
+class TestFSInstrumentation:
+    def test_ci_test_metrics_and_feature_events(self, split_5gc, tmp_path):
+        bench, X_few, _ = split_5gc
+        scaler = MinMaxScaler().fit(bench.X_source)
+        with RunRecorder(tmp_path / "run") as rec:
+            FeatureSeparator(FSConfig()).fit(
+                scaler.transform(bench.X_source), scaler.transform(X_few)
+            )
+        n_features = bench.X_source.shape[1]
+
+        total = rec.metrics.counter("ci_tests_total").value
+        assert total > 0
+        assert rec.metrics.histogram("ci_test_seconds").count == total
+        assert rec.metrics.histogram("ci_test_pvalue").count == total
+        summary = rec.metrics.histogram("ci_test_seconds").summary()
+        assert summary["p50"] <= summary["p90"] <= summary["p99"]
+        assert rec.metrics.gauge("fs_n_features").value == n_features
+
+        # one decision event per feature
+        decisions = [e for e in rec.events.events if e["kind"] == "fs.feature_decision"]
+        assert len(decisions) == n_features
+        assert {"feature", "p_value", "variant"} <= set(decisions[0])
+
+        # the span tree decomposes FS into per-CI-test-batch children
+        fs_fit = rec.tracer.find("fs.fit")
+        assert fs_fit is not None
+        discover = rec.tracer.find("fs.discover")
+        batches = [c for c in discover.children if c.name == "fs.ci_batch"]
+        assert batches and sum(c.tags["n_tests"] for c in batches) > 0
+
+    def test_cond_size_breakdown(self, split_5gc, tmp_path):
+        bench, X_few, _ = split_5gc
+        scaler = MinMaxScaler().fit(bench.X_source)
+        with RunRecorder(tmp_path / "run") as rec:
+            FeatureSeparator(FSConfig()).fit(
+                scaler.transform(bench.X_source), scaler.transform(X_few)
+            )
+        per_size = [
+            rec.metrics.counter(name).value
+            for name in rec.metrics.names()
+            if name.startswith("ci_tests_cond")
+        ]
+        assert sum(per_size) == rec.metrics.counter("ci_tests_total").value
+
+
+class TestPipelineObservability:
+    def test_fit_predict_byte_identical_with_obs(self, split_5gc, tmp_path):
+        bench, X_few, X_test = split_5gc
+        plain = small_pipeline().fit(bench.X_source, bench.y_source, X_few)
+        with RunRecorder(tmp_path / "run") as rec:
+            observed = small_pipeline().fit(bench.X_source, bench.y_source, X_few)
+            y_obs = observed.predict(X_test)
+        y_plain = plain.predict(X_test)
+        np.testing.assert_array_equal(y_plain, y_obs)
+
+        fit_span = rec.tracer.find("pipeline.fit")
+        assert [c.name for c in fit_span.children[:3]] == [
+            "pipeline.scale", "pipeline.fs", "pipeline.model_fit",
+        ]
+        assert rec.tracer.find("reconstruction.fit") is not None
+        assert rec.tracer.find("pipeline.predict") is not None
+        assert rec.metrics.histogram("gan_epoch_seconds").count == 5
+
+
+class TestReleaseTrainingCache:
+    @pytest.fixture(scope="class")
+    def released(self, split_5gc):
+        bench, X_few, _ = split_5gc
+        pipe = small_pipeline().fit(bench.X_source, bench.y_source, X_few)
+        return pipe.release_training_cache(), bench
+
+    def test_predict_still_works(self, released, split_5gc):
+        pipe, _ = released
+        _, _, X_test = split_5gc
+        assert len(pipe.predict(X_test)) == len(X_test)
+
+    def test_refit_adapter_raises_clear_error(self, released, split_5gc):
+        pipe, _ = released
+        _, X_few, _ = split_5gc
+        with pytest.raises(ValidationError, match="release_training_cache"):
+            pipe.refit_adapter(X_few)
+
+    def test_monitor_raises_clear_error(self, released, split_5gc):
+        pipe, _ = released
+        _, _, X_test = split_5gc
+        monitor = DriftMonitor(pipe)
+        with pytest.raises(ValidationError, match="release_training_cache"):
+            monitor.observe(X_test[:20])
+
+    def test_unfitted_refit_keeps_old_message(self, split_5gc):
+        with pytest.raises(NotFittedError):
+            small_pipeline().refit_adapter(np.zeros((2, 3)))
+
+
+class TestMonitorTelemetry:
+    def test_observation_emits_metrics_and_events(self, split_5gc, tmp_path):
+        bench, X_few, X_test = split_5gc
+        pipe = small_pipeline().fit(bench.X_source, bench.y_source, X_few)
+        with RunRecorder(tmp_path / "run") as rec:
+            report = DriftMonitor(pipe).observe(X_test[:40])
+        assert rec.metrics.counter("drift_observations_total").value == 1
+        events = [e for e in rec.events.events if e["kind"] == "drift.observe"]
+        assert len(events) == 1
+        assert events[0]["jaccard"] == pytest.approx(report.jaccard)
+        # satellite: p_values is an ndarray (or None), never a scalar surprise
+        assert report.p_values is None or isinstance(report.p_values, np.ndarray)

@@ -1,0 +1,145 @@
+"""Tests for the hierarchical span tracer (repro.obs.trace)."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Stopwatch,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestSpanNesting:
+    def test_nesting_and_ordering(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                with tracer.span("leaf"):
+                    pass
+        assert [r.name for r in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["first", "second"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+
+    def test_parent_duration_covers_children(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                time.sleep(0.01)
+        parent = tracer.roots[0]
+        child = parent.children[0]
+        assert child.duration >= 0.01
+        assert parent.duration >= child.duration
+
+    def test_stack_unwinds_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        # both spans closed despite the exception; a new span is a fresh root
+        with tracer.span("after"):
+            pass
+        assert [r.name for r in tracer.roots] == ["outer", "after"]
+        assert tracer.roots[0].end is not None
+        assert tracer.roots[0].children[0].end is not None
+
+    def test_tags_and_tag_update(self):
+        tracer = Tracer()
+        with tracer.span("op", size=3) as sp:
+            sp.tag(n_tests=7)
+        assert tracer.roots[0].tags == {"size": 3, "n_tests": 7}
+
+    def test_find(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert tracer.find("b").name == "b"
+        assert tracer.find("missing") is None
+
+
+class TestExport:
+    def test_to_dict_offsets_relative_to_first_root(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        data = tracer.to_dict()
+        assert data["spans"][0]["start"] == 0.0
+        assert data["spans"][0]["children"][0]["start"] >= 0.0
+        assert data["spans"][0]["duration"] >= data["spans"][0]["children"][0]["duration"]
+
+    def test_to_json_round_trips(self):
+        tracer = Tracer()
+        with tracer.span("op", k="v"):
+            pass
+        parsed = json.loads(tracer.to_json())
+        assert parsed["spans"][0]["name"] == "op"
+        assert parsed["spans"][0]["tags"] == {"k": "v"}
+
+    def test_format_tree_shows_hierarchy(self):
+        tracer = Tracer()
+        with tracer.span("root_op", n=1):
+            with tracer.span("child_op"):
+                pass
+        text = tracer.format_tree()
+        lines = text.splitlines()
+        assert "root_op" in lines[0] and "n=1" in lines[0]
+        assert lines[1].startswith("  ") and "child_op" in lines[1]
+        assert "ms" in lines[0]
+
+
+class TestNullTracer:
+    def test_default_global_tracer_is_disabled(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+    def test_null_span_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("anything", big=1) as sp:
+            assert sp is NULL_SPAN
+            sp.tag(more=2)  # no-op, no error
+        assert tracer.roots == []
+        assert NULL_SPAN.tags == {}
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+            with get_tracer().span("inside"):
+                pass
+        assert get_tracer() is NULL_TRACER
+        assert tracer.find("inside") is not None
+
+    def test_set_tracer_validates(self):
+        with pytest.raises(ValidationError):
+            set_tracer("not a tracer")
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert sw.seconds >= 0.01
+        frozen = sw.seconds
+        assert sw.seconds == frozen  # stops at exit
