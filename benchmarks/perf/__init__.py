@@ -1,0 +1,1 @@
+"""Performance benchmarks for the vectorized CI-test engine (§VI-D)."""

@@ -1,0 +1,71 @@
+"""FS discovery perf: batched CI engine vs the frozen reference loop.
+
+Wraps :func:`repro.experiments.run_bench` (the ``repro bench`` subcommand)
+in pytest-benchmark so the before/after numbers land in the benchmark
+report, and checks the record contract: the engine must agree with the
+reference loop exactly and beat it on wall clock.  The headline ≥3x target
+is a paper-shape property (§VI-D's CI-test-dominated FS cost), enforced via
+:func:`assert_shape` so a noisy smoke-scale CI box warns instead of failing.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import assert_shape
+from repro.experiments import run_bench
+from repro.experiments.bench import BENCH_SCHEMA, bench_key, write_bench_record
+
+
+def test_fs_engine_speedup(benchmark, preset, tmp_path):
+    out = tmp_path / "BENCH_fs.json"
+
+    record = benchmark.pedantic(
+        lambda: run_bench(
+            "5gc", preset=preset, include_gan=False, out=str(out)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # record contract: well-formed and seed-keyed on disk
+    assert out.exists()
+    assert bench_key(record) == f"5gc/{preset.name}/seed0"
+    for field in ("before", "after", "speedup", "equivalent", "n_features"):
+        assert field in record
+    assert record["before"]["n_ci_tests"] > 0
+
+    # behaviour: the engine is an optimization, not an approximation
+    assert record["equivalent"], "engine results diverged from the reference loop"
+    assert record["after"]["n_ci_tests"] == record["before"]["n_ci_tests"]
+
+    # speed: strictly faster always; ≥3x is the paper-shape target
+    assert record["speedup"] > 1.0
+    assert_shape(
+        record["speedup"] >= 3.0,
+        f"FS engine speedup {record['speedup']:.2f}x below the 3x target",
+        strict=False,  # wall-clock ratios are noisy on shared CI runners
+    )
+    print(
+        f"\nFS engine: {record['before']['fs_seconds']:.2f}s -> "
+        f"{record['after']['fs_seconds']:.2f}s "
+        f"({record['speedup']:.2f}x, {record['before']['n_ci_tests']} CI tests)"
+    )
+
+
+def test_bench_record_merge(tmp_path):
+    """Repeated runs accumulate by (dataset, preset, seed) key."""
+    out = tmp_path / "BENCH_fs.json"
+    base = {
+        "dataset": "5gc", "preset": "smoke", "seed": 0,
+        "before": {"fs_seconds": 2.0}, "after": {"fs_seconds": 1.0},
+        "speedup": 2.0, "equivalent": True,
+    }
+    write_bench_record(base, str(out))
+    write_bench_record({**base, "seed": 1}, str(out))
+    write_bench_record({**base, "speedup": 3.0}, str(out))  # overwrite slot
+
+    import json
+
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == BENCH_SCHEMA
+    assert set(doc["records"]) == {"5gc/smoke/seed0", "5gc/smoke/seed1"}
+    assert doc["records"]["5gc/smoke/seed0"]["speedup"] == 3.0

@@ -6,6 +6,12 @@ from repro.causal.ci_tests import (
     g_squared_test,
     regression_invariance_test,
 )
+from repro.causal.engine import (
+    CIEngine,
+    batch_ks_pvalues,
+    batch_welch_t_pvalues,
+    combined_invariance_pvalues,
+)
 from repro.causal.fnode import (
     F_NODE,
     FNodeDiscovery,
@@ -16,8 +22,12 @@ from repro.causal.graph import CausalGraph
 from repro.causal.pc import PCResult, pc_algorithm, pc_skeleton
 
 __all__ = [
+    "CIEngine",
     "CausalGraph",
     "F_NODE",
+    "batch_ks_pvalues",
+    "batch_welch_t_pvalues",
+    "combined_invariance_pvalues",
     "FNodeDiscovery",
     "FNodeResult",
     "PCResult",

@@ -51,10 +51,10 @@ def _partial_correlation(data: np.ndarray, i: int, j: int, cond: tuple[int, ...]
         return float(np.corrcoef(xi, xj)[0, 1])
     Z = data[:, list(cond)]
     Z = np.column_stack([np.ones(Z.shape[0]), Z])
-    beta_i, *_ = np.linalg.lstsq(Z, data[:, i], rcond=None)
-    beta_j, *_ = np.linalg.lstsq(Z, data[:, j], rcond=None)
-    ri = data[:, i] - Z @ beta_i
-    rj = data[:, j] - Z @ beta_j
+    # both regressions share the design matrix: one multi-RHS solve
+    beta, *_ = np.linalg.lstsq(Z, data[:, [i, j]], rcond=None)
+    resid = data[:, [i, j]] - Z @ beta
+    ri, rj = resid[:, 0], resid[:, 1]
     si, sj = ri.std(), rj.std()
     if si == 0 or sj == 0:
         return 0.0
@@ -112,27 +112,33 @@ def g_squared_test(x, y, z=None, *, min_count: float = 0.0) -> float:
             raise ValidationError("z must match x in length")
         _, strata = np.unique(z, axis=0, return_inverse=True)
 
-    x_levels = np.unique(x)
-    y_levels = np.unique(y)
-    g2 = 0.0
-    dof = 0
-    for s in np.unique(strata):
-        mask = strata == s
-        if mask.sum() < 2:
-            continue
-        table = np.zeros((len(x_levels), len(y_levels)))
-        for a, xa in enumerate(x_levels):
-            for b, yb in enumerate(y_levels):
-                table[a, b] = np.sum(mask & (x == xa) & (y == yb))
-        total = table.sum()
-        if total == 0:
-            continue
-        expected = np.outer(table.sum(axis=1), table.sum(axis=0)) / total
-        nonzero = (table > min_count) & (expected > 0)
-        g2 += 2.0 * np.sum(table[nonzero] * np.log(table[nonzero] / expected[nonzero]))
-        rows = int(np.sum(table.sum(axis=1) > 0))
-        cols = int(np.sum(table.sum(axis=0) > 0))
-        dof += max(0, (rows - 1) * (cols - 1))
+    _, x_codes = np.unique(x, return_inverse=True)
+    _, y_codes = np.unique(y, return_inverse=True)
+    n_x = int(x_codes.max()) + 1
+    n_y = int(y_codes.max()) + 1
+    n_strata = int(strata.max()) + 1
+
+    # all (stratum, x, y) contingency tables in one bincount over encoded cells
+    cells = (strata * n_x + x_codes) * n_y + y_codes
+    tables = np.bincount(cells, minlength=n_strata * n_x * n_y).reshape(
+        n_strata, n_x, n_y
+    ).astype(np.float64)
+    totals = tables.sum(axis=(1, 2))
+    tables = tables[totals >= 2]  # strata with < 2 samples carry no evidence
+    if tables.shape[0] == 0:
+        return 1.0
+
+    row_sums = tables.sum(axis=2, keepdims=True)
+    col_sums = tables.sum(axis=1, keepdims=True)
+    expected = row_sums * col_sums / tables.sum(axis=(1, 2), keepdims=True)
+    nonzero = (tables > min_count) & (expected > 0)
+    safe_t = np.where(nonzero, tables, 1.0)
+    safe_e = np.where(nonzero, expected, 1.0)
+    g2 = 2.0 * float(np.sum(np.where(nonzero, tables * np.log(safe_t / safe_e), 0.0)))
+
+    rows = (row_sums[:, :, 0] > 0).sum(axis=1)
+    cols = (col_sums[:, 0, :] > 0).sum(axis=1)
+    dof = int(np.maximum(0, (rows - 1) * (cols - 1)).sum())
     if dof == 0:
         return 1.0
     return float(stats.chi2.sf(g2, dof))

@@ -19,15 +19,33 @@ Two engines are provided:
   approximate each feature's parent set with its most correlated source-
   domain features and run a single conditional test per feature.  This keeps
   the number of CI tests linear in the feature count.
+
+The CI tests themselves run on :class:`repro.causal.engine.CIEngine`: the
+size-0 tests for all features are one batched sweep, the conditional tests
+share cached Cholesky factors per conditioning tuple, and the subset search
+optionally fans out over a process pool (``n_jobs``) with a deterministic
+feature-order merge.
 """
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.causal.ci_tests import fisher_z_test, regression_invariance_test
+from repro.causal.ci_tests import (
+    _observe_ci_test,
+    fisher_z_test,
+    regression_invariance_test,
+)
+from repro.causal.engine import (
+    CIEngine,
+    init_search_worker,
+    resolve_n_jobs,
+    search_chunk_worker,
+)
 from repro.causal.pc import pc_algorithm
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
@@ -103,6 +121,13 @@ class FNodeDiscovery:
     min_correlation:
         Candidate conditioners must exceed this absolute source-domain
         correlation (prevents conditioning on unrelated noise columns).
+    n_jobs:
+        Worker processes for the conditional subset search (``-1`` = all
+        cores).  Features are chunked across workers and merged back in
+        feature order, so results are bit-identical to ``n_jobs=1``.
+    ridge:
+        Ridge strength of the conditional regression (matches
+        :func:`repro.causal.ci_tests.regression_invariance_test`).
     """
 
     def __init__(
@@ -112,6 +137,8 @@ class FNodeDiscovery:
         max_parents: int = 5,
         max_cond_size: int = 2,
         min_correlation: float = 0.2,
+        n_jobs: int = 1,
+        ridge: float = 1e-3,
     ) -> None:
         if not 0.0 < alpha < 1.0:
             raise ValidationError("alpha must be in (0, 1)")
@@ -123,6 +150,8 @@ class FNodeDiscovery:
         self.max_parents = max_parents
         self.max_cond_size = max_cond_size
         self.min_correlation = min_correlation
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self.ridge = ridge
 
     def _candidates(self, corr: np.ndarray, j: int) -> tuple[int, ...]:
         """Top-``max_parents`` source-correlated features for column j."""
@@ -156,34 +185,47 @@ class FNodeDiscovery:
             corr = np.corrcoef(X_source, rowvar=False)
         if d == 1:
             corr = np.array([[1.0]])
-        p_values = np.zeros(d)
-        parent_sets: list[tuple[int, ...]] = []
-        n_tests = 0
+        engine = CIEngine(X_source, X_target, ridge=self.ridge)
+        registry = get_metrics()
         tracer = get_tracer()
 
-        # the FS span decomposes into per-CI-test-batch child spans so a
+        # the FS span decomposes into CI-test-batch child spans (the batched
+        # marginal sweep, then chunks of conditional subset searches) so a
         # trace shows where the dominant (§VI-D) discovery cost goes
-        with tracer.span("fs.discover", n_features=d) as fs_span:
-            for start in range(0, d, CI_BATCH_SIZE):
-                stop = min(start + CI_BATCH_SIZE, d)
-                with tracer.span(
-                    "fs.ci_batch", feature_start=start, feature_stop=stop
-                ) as batch_span:
-                    batch_tests = 0
-                    for j in range(start, stop):
-                        best_p, separating, feature_tests = self._test_feature(
-                            X_source, X_target, corr, j
-                        )
-                        p_values[j] = best_p
-                        parent_sets.append(separating)
-                        batch_tests += feature_tests
-                    batch_span.tag(n_tests=batch_tests)
-                n_tests += batch_tests
+        with tracer.span("fs.discover", n_features=d, n_jobs=self.n_jobs) as fs_span:
+            t0 = time.perf_counter()
+            with tracer.span(
+                "fs.ci_batch", feature_start=0, feature_stop=d, stage="marginal"
+            ) as marginal_span:
+                p_values = engine.marginal_pvalues().copy()
+                marginal_span.tag(n_tests=d)
+            if registry.enabled:
+                per_test = (time.perf_counter() - t0) / max(d, 1)
+                for p in p_values:
+                    _observe_ci_test(registry, "invariance", 0, float(p), per_test)
+            n_tests = d
+            parent_sets: list[tuple[int, ...]] = [() for _ in range(d)]
+
+            # only features failing the marginal test enter the subset search
+            tasks = []
+            if self.max_parents > 0 and self.max_cond_size > 0:
+                tasks = [
+                    (int(j), candidates, float(p_values[j]))
+                    for j in np.nonzero(p_values < self.alpha)[0]
+                    if (candidates := self._candidates(corr, int(j)))
+                ]
+            searched = self._search(engine, X_source, X_target, tasks, tracer)
+            for j, best_p, separating, n_cond, log in searched:
+                p_values[j] = best_p
+                parent_sets[j] = separating
+                n_tests += n_cond
+                if registry.enabled:
+                    for cond_size, p, seconds in log:
+                        _observe_ci_test(registry, "invariance", cond_size, p, seconds)
             fs_span.tag(n_tests=n_tests)
 
         variant = np.where(p_values < self.alpha)[0]
         invariant = np.where(p_values >= self.alpha)[0]
-        registry = get_metrics()
         if registry.enabled:
             registry.counter("fs_discoveries_total").inc()
             registry.gauge("fs_n_variant").set(len(variant))
@@ -196,35 +238,62 @@ class FNodeDiscovery:
             n_tests=n_tests,
         )
 
-    def _test_feature(
-        self, X_source: np.ndarray, X_target: np.ndarray, corr: np.ndarray, j: int
-    ) -> tuple[float, tuple[int, ...], int]:
-        """Subset search for one feature: ``(best_p, separating_set, n_tests)``."""
-        from itertools import combinations
+    def _search(self, engine, X_source, X_target, tasks, tracer) -> list:
+        """Run the conditional subset searches, serially or in a process pool.
 
-        candidates = self._candidates(corr, j)
-        best_p = 0.0
-        separating: tuple[int, ...] = ()
-        n_tests = 0
-        for size in range(0, self.max_cond_size + 1):
-            cleared = False
-            for subset in combinations(candidates, size):
-                cols = list(subset)
-                z_s = X_source[:, cols] if cols else None
-                z_t = X_target[:, cols] if cols else None
-                p = regression_invariance_test(
-                    X_source[:, j], X_target[:, j], z_s, z_t
-                )
-                n_tests += 1
-                if p > best_p:
-                    best_p = p
-                    separating = subset
-                if p >= self.alpha:
-                    cleared = True
-                    break
-            if cleared:
-                break
-        return best_p, separating, n_tests
+        Returns ``(j, best_p, separating, n_tests, log)`` rows; the merge key
+        is the feature index, so worker scheduling cannot reorder results.
+        """
+        if not tasks:
+            return []
+        chunks = [
+            tasks[start : start + CI_BATCH_SIZE]
+            for start in range(0, len(tasks), CI_BATCH_SIZE)
+        ]
+        results: list = []
+        if self.n_jobs == 1:
+            for chunk in chunks:
+                with tracer.span(
+                    "fs.ci_batch",
+                    feature_start=chunk[0][0],
+                    feature_stop=chunk[-1][0] + 1,
+                    stage="conditional",
+                ) as batch_span:
+                    batch_tests = 0
+                    for j, candidates, marginal_p in chunk:
+                        out = engine.search_feature(
+                            j,
+                            candidates,
+                            marginal_p,
+                            alpha=self.alpha,
+                            max_cond_size=self.max_cond_size,
+                        )
+                        results.append((j, *out))
+                        batch_tests += out[2]
+                    batch_span.tag(n_tests=batch_tests)
+            return results
+        with tracer.span(
+            "fs.ci_batch",
+            feature_start=tasks[0][0],
+            feature_stop=tasks[-1][0] + 1,
+            stage="conditional",
+            n_jobs=self.n_jobs,
+        ) as batch_span:
+            with ProcessPoolExecutor(
+                max_workers=min(self.n_jobs, len(chunks)),
+                initializer=init_search_worker,
+                initargs=(
+                    engine.Xs,
+                    engine.Xt,
+                    self.alpha,
+                    self.max_cond_size,
+                    self.ridge,
+                ),
+            ) as pool:
+                for chunk_result in pool.map(search_chunk_worker, chunks):
+                    results.extend(chunk_result)
+            batch_span.tag(n_tests=sum(row[3] for row in results))
+        return results
 
 
 def _mixed_ci_test(f_col: int):

@@ -20,7 +20,7 @@ from repro.causal.ci_tests import fisher_z_test
 from repro.causal.graph import CausalGraph
 from repro.obs.trace import get_tracer
 from repro.utils.errors import ValidationError
-from repro.utils.validation import check_array
+from repro.utils.validation import check_array, mark_validated
 
 
 class PCResult:
@@ -57,7 +57,9 @@ def pc_skeleton(
         Nodes never used inside conditioning sets (the F-node: conditioning
         on the manually added domain indicator is meaningless).
     """
-    data = check_array(data)
+    # validate once, then mark: the per-test check_array inside ci_test
+    # short-circuits instead of re-scanning the matrix every iteration
+    data = mark_validated(check_array(data))
     if data.shape[1] != len(nodes):
         raise ValidationError("data columns must align with nodes")
     if not 0.0 < alpha < 1.0:
@@ -120,7 +122,7 @@ def pc_algorithm(
     from it (``F → X``), matching the paper's constraint that the F-node's
     orientation is fixed because the node was added by hand.
     """
-    data = check_array(data)
+    data = mark_validated(check_array(data))
     if nodes is None:
         nodes = list(range(data.shape[1]))
     graph, sepsets, n_tests = pc_skeleton(

@@ -7,6 +7,7 @@ Usage::
     python -m repro multitarget
     python -m repro counts --dataset 5gc
     python -m repro runtime --dataset 5gipc --preset fast --trace -v
+    python -m repro bench --dataset 5gc --preset smoke --n-jobs -1
 
 Each subcommand runs one artifact of the paper's evaluation section and
 prints it in the paper's layout (see EXPERIMENTS.md for the mapping).
@@ -33,6 +34,7 @@ import sys
 
 from repro.experiments import (
     format_ablation,
+    format_bench,
     format_multitarget,
     format_runtime,
     format_table1,
@@ -40,6 +42,7 @@ from repro.experiments import (
     get_preset,
     measure_runtime,
     run_ablation,
+    run_bench,
     run_multitarget,
     run_table1,
     summarize_improvement,
@@ -69,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="experiment scale (default: $REPRO_PRESET or smoke)",
         )
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--n-jobs", type=int, default=1, metavar="N",
+            help="worker processes for FS CI tests (-1 = all cores; "
+            "results are bit-identical to serial)",
+        )
         obs = p.add_argument_group("observability")
         obs.add_argument(
             "--trace", action="store_true",
@@ -110,6 +118,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("runtime", help="§VI-D: FS / GAN / inference timing")
     add_common(p)
+
+    p = sub.add_parser(
+        "bench",
+        help="perf benchmark: batched CI engine vs the reference FS loop",
+    )
+    add_common(p)
+    p.add_argument("--shots", type=int, default=10,
+                   help="few-shot target budget for FS discovery")
+    p.add_argument("--out", metavar="PATH", default="BENCH_fs.json",
+                   help="benchmark record file (merged, seed-keyed)")
+    p.add_argument("--skip-gan", action="store_true",
+                   help="benchmark FS discovery only (skip GAN + inference)")
     return parser
 
 
@@ -149,6 +169,7 @@ def _dispatch(args, preset) -> None:
             methods=tuple(args.methods) if args.methods else None,
             models=tuple(args.models) if args.models else None,
             random_state=args.seed,
+            n_jobs=args.n_jobs,
         )
         print(format_table1(results, dataset=args.dataset.upper()))
         summary = summarize_improvement(results)
@@ -160,7 +181,8 @@ def _dispatch(args, preset) -> None:
             )
     elif args.command == "ablation":
         results = run_ablation(
-            args.dataset, preset=preset, model=args.model, random_state=args.seed
+            args.dataset, preset=preset, model=args.model,
+            random_state=args.seed, n_jobs=args.n_jobs,
         )
         print(format_ablation(results, dataset=args.dataset.upper()))
     elif args.command == "multitarget":
@@ -168,13 +190,27 @@ def _dispatch(args, preset) -> None:
             run_multitarget(preset=preset, random_state=args.seed)
         ))
     elif args.command == "counts":
-        print(format_variant_counts(
-            variant_counts(args.dataset, preset=preset, random_state=args.seed)
-        ))
+        print(format_variant_counts(variant_counts(
+            args.dataset, preset=preset, random_state=args.seed,
+            n_jobs=args.n_jobs,
+        )))
     elif args.command == "runtime":
-        print(format_runtime(
-            measure_runtime(args.dataset, preset=preset, random_state=args.seed)
-        ))
+        print(format_runtime(measure_runtime(
+            args.dataset, preset=preset, random_state=args.seed,
+            n_jobs=args.n_jobs,
+        )))
+    elif args.command == "bench":
+        record = run_bench(
+            args.dataset,
+            preset=preset,
+            shots=args.shots,
+            n_jobs=args.n_jobs,
+            include_gan=not args.skip_gan,
+            random_state=args.seed,
+            out=args.out,
+        )
+        print(format_bench(record))
+        print(f"\nrecord merged into {args.out}")
 
 
 def main(argv=None) -> int:

@@ -19,13 +19,16 @@ class FSConfig:
 
     ``alpha`` is the CI-test significance level; ``max_parents`` the size of
     the approximate parent set conditioning each ``X ⊥ F | Pa(X)`` test;
-    ``min_correlation`` the parent-candidate admission threshold.
+    ``min_correlation`` the parent-candidate admission threshold; ``n_jobs``
+    the worker-process count for the CI subset search (``-1`` = all cores,
+    results are bit-identical to the serial path).
     """
 
     alpha: float = 0.01
     max_parents: int = 5
     max_cond_size: int = 2
     min_correlation: float = 0.2
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha < 1.0:
@@ -36,6 +39,8 @@ class FSConfig:
             raise ConfigurationError("max_cond_size must be >= 0")
         if not 0.0 <= self.min_correlation <= 1.0:
             raise ConfigurationError("min_correlation must be in [0, 1]")
+        if self.n_jobs != -1 and self.n_jobs < 1:
+            raise ConfigurationError("n_jobs must be >= 1 or -1 (all cores)")
 
 
 @dataclass(frozen=True)

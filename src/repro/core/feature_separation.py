@@ -16,7 +16,7 @@ from repro.core.config import FSConfig
 from repro.obs.export import get_event_log
 from repro.obs.trace import get_tracer
 from repro.utils.errors import ValidationError
-from repro.utils.validation import check_array, check_is_fitted
+from repro.utils.validation import check_array, check_is_fitted, mark_validated
 
 
 class FeatureSeparator:
@@ -39,19 +39,43 @@ class FeatureSeparator:
         self.result_: FNodeResult | None = None
         self.n_features_: int | None = None
 
+    @classmethod
+    def from_result(
+        cls,
+        result: FNodeResult,
+        n_features: int,
+        config: FSConfig | None = None,
+    ) -> "FeatureSeparator":
+        """Wrap a precomputed :class:`FNodeResult` as a fitted separator.
+
+        Used by the parallel experiment runner, where discovery runs in a
+        worker process and only the (picklable) result crosses back.  No
+        per-feature ``fs.feature_decision`` events are emitted on this path.
+        """
+        sep = cls(config)
+        sep.result_ = result
+        sep.n_features_ = int(n_features)
+        return sep
+
     def fit(self, X_source, X_target) -> "FeatureSeparator":
         """Run intervention-target discovery between the two domains.
 
         ``X_target`` is the (few-shot) target training data; it is used only
         here — never to train the downstream model or the GAN.
         """
-        X_source = check_array(X_source, name="X_source", min_samples=4)
-        X_target = check_array(X_target, name="X_target", min_samples=2)
+        # validate here, mark, and the discovery's own check_array is free
+        X_source = mark_validated(
+            check_array(X_source, name="X_source", min_samples=4)
+        )
+        X_target = mark_validated(
+            check_array(X_target, name="X_target", min_samples=2)
+        )
         discovery = FNodeDiscovery(
             alpha=self.config.alpha,
             max_parents=self.config.max_parents,
             max_cond_size=self.config.max_cond_size,
             min_correlation=self.config.min_correlation,
+            n_jobs=self.config.n_jobs,
         )
         with get_tracer().span(
             "fs.fit",

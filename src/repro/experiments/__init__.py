@@ -1,11 +1,13 @@
 """Experiment harness: presets, runner and formatters regenerating every
 table and figure of the paper's evaluation section (see DESIGN.md §4)."""
 
+from repro.experiments.bench import reference_discover, run_bench, write_bench_record
 from repro.experiments.models import MODEL_NAMES, model_factories
 from repro.experiments.multitarget import run_multitarget
 from repro.experiments.presets import PRESETS, ExperimentPreset, get_preset
 from repro.experiments.reporting import (
     format_ablation,
+    format_bench,
     format_multitarget,
     format_runtime,
     format_table1,
@@ -29,6 +31,7 @@ __all__ = [
     "PRESETS",
     "SharedArtifacts",
     "format_ablation",
+    "format_bench",
     "format_multitarget",
     "format_runtime",
     "format_table1",
@@ -37,10 +40,13 @@ __all__ = [
     "make_benchmark",
     "measure_runtime",
     "model_factories",
+    "reference_discover",
     "run_ablation",
+    "run_bench",
     "run_multitarget",
     "run_table1",
     "selection_variance",
+    "write_bench_record",
     "summarize_improvement",
     "variant_counts",
 ]

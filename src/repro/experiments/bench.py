@@ -1,0 +1,233 @@
+"""Performance benchmark harness behind ``repro bench`` (§VI-D).
+
+The paper's running-time table is dominated by the CI tests of FS
+discovery.  This module measures exactly that cost, twice:
+
+- **before** — :func:`reference_discover`, a frozen copy of the original
+  per-feature scalar loop (one :func:`regression_invariance_test` call per
+  subset), kept here so the baseline stays measurable after the hot path
+  moved to :class:`repro.causal.engine.CIEngine`;
+- **after** — :class:`repro.core.feature_separation.FeatureSeparator` on the
+  batched/cached engine path, with optional ``n_jobs`` workers.
+
+Both runs share the same data, candidates and early-break semantics, so the
+speedup is apples-to-apples and the record carries an ``equivalent`` flag
+checking the results actually agree.  GAN training and per-sample inference
+round out the §VI-D decomposition.  Records are merged into a seed-keyed
+JSON file (``BENCH_fs.json`` by default) so repeated runs across datasets,
+presets and seeds accumulate rather than clobber.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from itertools import combinations
+
+import numpy as np
+
+from repro.causal.ci_tests import regression_invariance_test
+from repro.causal.fnode import FNodeDiscovery, FNodeResult
+from repro.core.config import FSConfig, ReconstructionConfig
+from repro.core.feature_separation import FeatureSeparator
+from repro.core.reconstruction import VariantReconstructor
+from repro.experiments.presets import ExperimentPreset, get_preset
+from repro.experiments.runner import make_benchmark
+from repro.ml.preprocessing import MinMaxScaler
+from repro.obs.logging import get_logger
+from repro.obs.trace import Stopwatch, get_tracer
+
+#: schema tag stamped into every benchmark file this module writes
+BENCH_SCHEMA = "repro.bench.fs/v1"
+
+
+def reference_discover(
+    X_source, X_target, *, config: FSConfig | None = None
+) -> FNodeResult:
+    """The pre-engine FS discovery loop, frozen as the timing baseline.
+
+    One scalar :func:`regression_invariance_test` per (feature, subset),
+    with the same candidate sets and first-clearing-subset early break as
+    :class:`FNodeDiscovery` — only the batching/caching differs, so timing
+    this against the engine isolates the optimization being benchmarked.
+    """
+    config = config or FSConfig()
+    disc = FNodeDiscovery(
+        alpha=config.alpha,
+        max_parents=config.max_parents,
+        max_cond_size=config.max_cond_size,
+        min_correlation=config.min_correlation,
+    )
+    X_source = np.ascontiguousarray(X_source, dtype=np.float64)
+    X_target = np.ascontiguousarray(X_target, dtype=np.float64)
+    d = X_source.shape[1]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        corr = np.corrcoef(X_source, rowvar=False)
+    if d == 1:
+        corr = np.array([[1.0]])
+    p_values = np.zeros(d)
+    parent_sets: list[tuple[int, ...]] = []
+    n_tests = 0
+    for j in range(d):
+        candidates = disc._candidates(corr, j)
+        best_p, separating = 0.0, ()
+        for size in range(0, config.max_cond_size + 1):
+            cleared = False
+            for subset in combinations(candidates, size):
+                cols = list(subset)
+                z_s = X_source[:, cols] if cols else None
+                z_t = X_target[:, cols] if cols else None
+                p = regression_invariance_test(
+                    X_source[:, j], X_target[:, j], z_s, z_t
+                )
+                n_tests += 1
+                if p > best_p:
+                    best_p, separating = p, subset
+                if p >= config.alpha:
+                    cleared = True
+                    break
+            if cleared:
+                break
+        p_values[j] = best_p
+        parent_sets.append(separating)
+    variant = np.where(p_values < config.alpha)[0]
+    invariant = np.where(p_values >= config.alpha)[0]
+    return FNodeResult(
+        variant_indices=variant,
+        invariant_indices=invariant,
+        p_values=p_values,
+        parent_sets=parent_sets,
+        n_tests=n_tests,
+    )
+
+
+def bench_key(record: dict) -> str:
+    """The seed-keyed slot a record occupies in the benchmark file."""
+    return f"{record['dataset']}/{record['preset']}/seed{record['seed']}"
+
+
+def write_bench_record(record: dict, path: str) -> None:
+    """Merge ``record`` into the JSON file at ``path`` (created if absent)."""
+    doc = {"schema": BENCH_SCHEMA, "records": {}}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                existing = json.load(fh)
+            if isinstance(existing, dict) and existing.get("schema") == BENCH_SCHEMA:
+                doc["records"].update(existing.get("records", {}))
+        except (ValueError, OSError):
+            pass  # unreadable file: rewrite from scratch
+    doc["records"][bench_key(record)] = record
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def run_bench(
+    dataset: str = "5gc",
+    *,
+    preset: str | ExperimentPreset | None = None,
+    shots: int = 10,
+    n_jobs: int = 1,
+    fs_rounds: int = 3,
+    include_gan: bool = True,
+    n_inference_samples: int = 64,
+    random_state: int = 0,
+    out: str | None = None,
+) -> dict:
+    """Benchmark FS discovery (reference vs engine), GAN training, inference.
+
+    FS timings are the best of ``fs_rounds`` runs per side (the standard
+    min-of-rounds estimator — one slow round from scheduler noise should not
+    move a speedup ratio).  Returns the record; when ``out`` is given, also
+    merges it into that benchmark file under its :func:`bench_key`.
+    """
+    preset = preset if isinstance(preset, ExperimentPreset) else get_preset(preset)
+    tracer = get_tracer()
+    logger = get_logger("repro.experiments.bench")
+    bench = make_benchmark(dataset, preset, random_state=random_state)
+    X_few, _, X_test, _ = bench.few_shot_split(shots, random_state=random_state)
+    scaler = MinMaxScaler().fit(bench.X_source)
+    Xs = scaler.transform(bench.X_source)
+    Xt_few = scaler.transform(X_few)
+    fs_config = FSConfig(n_jobs=n_jobs)
+
+    fs_rounds = max(1, fs_rounds)
+    ref_seconds = float("inf")
+    with tracer.span("bench.fs_reference", dataset=dataset, rounds=fs_rounds):
+        for _ in range(fs_rounds):
+            with Stopwatch() as sw:
+                ref = reference_discover(Xs, Xt_few, config=fs_config)
+            ref_seconds = min(ref_seconds, sw.seconds)
+    logger.info(
+        "reference loop: %.2f s (%d CI tests)", ref_seconds, ref.n_tests
+    )
+
+    eng_seconds = float("inf")
+    with tracer.span("bench.fs_engine", n_jobs=n_jobs, rounds=fs_rounds):
+        for _ in range(fs_rounds):
+            with Stopwatch() as sw:
+                sep = FeatureSeparator(fs_config).fit(Xs, Xt_few)
+            eng_seconds = min(eng_seconds, sw.seconds)
+    res = sep.result_
+    logger.info("batched engine: %.2f s (%d CI tests)", eng_seconds, res.n_tests)
+
+    equivalent = bool(
+        np.array_equal(ref.variant_indices, res.variant_indices)
+        and np.allclose(ref.p_values, res.p_values, rtol=1e-9, atol=1e-12)
+        and ref.parent_sets == res.parent_sets
+        and ref.n_tests == res.n_tests
+    )
+
+    gan_seconds = None
+    per_sample = None
+    if include_gan:
+        X_inv, X_var = sep.split(Xs)
+        rec = VariantReconstructor(
+            ReconstructionConfig(
+                strategy="gan",
+                noise_dim=preset.gan_noise_dim,
+                hidden_size=preset.gan_hidden,
+                epochs=preset.gan_epochs,
+            ),
+            random_state=random_state,
+        )
+        with tracer.span("bench.gan", epochs=preset.gan_epochs), Stopwatch() as sw:
+            rec.fit(X_inv, X_var, bench.y_source)
+        gan_seconds = sw.seconds
+        Xt = scaler.transform(X_test[:n_inference_samples])
+        inv_block, _ = sep.split(Xt)
+        with tracer.span(
+            "bench.inference", n_samples=len(inv_block)
+        ), Stopwatch() as sw:
+            for row in inv_block:  # one sample at a time, as in online inference
+                rec.reconstruct(row[None, :])
+        per_sample = sw.seconds / len(inv_block)
+
+    record = {
+        "dataset": dataset,
+        "preset": preset.name,
+        "seed": random_state,
+        "shots": shots,
+        "n_jobs": n_jobs,
+        "fs_rounds": fs_rounds,
+        "n_features": bench.n_features,
+        "before": {
+            "fs_seconds": ref_seconds,
+            "n_ci_tests": int(ref.n_tests),
+            "n_variant": int(ref.n_variant),
+        },
+        "after": {
+            "fs_seconds": eng_seconds,
+            "n_ci_tests": int(res.n_tests),
+            "n_variant": int(res.n_variant),
+        },
+        "speedup": ref_seconds / max(eng_seconds, 1e-9),
+        "equivalent": equivalent,
+        "gan_train_seconds": gan_seconds,
+        "inference_seconds_per_sample": per_sample,
+    }
+    if out:
+        write_bench_record(record, out)
+        logger.info("benchmark record written to %s", out)
+    return record

@@ -138,6 +138,30 @@ def format_runtime(result: dict) -> str:
     )
 
 
+def format_bench(record: dict) -> str:
+    """Render the ``repro bench`` before/after summary."""
+    before, after = record["before"], record["after"]
+    lines = [
+        f"FS CI-engine benchmark ({record['dataset']}, "
+        f"preset={record['preset']}, seed={record['seed']}, "
+        f"{record['n_features']} features, n_jobs={record['n_jobs']})",
+        f"  reference loop: {before['fs_seconds']:8.2f} s "
+        f"({before['n_ci_tests']} CI tests, {before['n_variant']} variant)",
+        f"  batched engine: {after['fs_seconds']:8.2f} s "
+        f"({after['n_ci_tests']} CI tests, {after['n_variant']} variant)",
+        f"  speedup:        {record['speedup']:8.2f}x "
+        + ("(results identical)" if record["equivalent"] else "(RESULTS DIFFER)"),
+    ]
+    if record.get("gan_train_seconds") is not None:
+        lines.append(f"  GAN training:   {record['gan_train_seconds']:8.2f} s")
+    if record.get("inference_seconds_per_sample") is not None:
+        lines.append(
+            f"  inference:      "
+            f"{1000 * record['inference_seconds_per_sample']:8.2f} ms/sample"
+        )
+    return "\n".join(lines)
+
+
 def summarize_improvement(results: list[CellResult]) -> dict:
     """The paper's headline metric: drift-mitigation improvement over SrcOnly.
 

@@ -32,6 +32,7 @@ def measure_runtime(
     shots: int = 10,
     n_inference_samples: int = 64,
     random_state: int = 0,
+    n_jobs: int = 1,
 ) -> dict:
     """Wall-clock seconds for FS discovery, GAN training and per-sample inference."""
     preset = preset if isinstance(preset, ExperimentPreset) else get_preset(preset)
@@ -43,7 +44,7 @@ def measure_runtime(
     Xs = scaler.transform(bench.X_source)
 
     with tracer.span("runtime.fs", dataset=dataset, shots=shots), Stopwatch() as sw:
-        sep = FeatureSeparator(FSConfig()).fit(Xs, scaler.transform(X_few))
+        sep = FeatureSeparator(FSConfig(n_jobs=n_jobs)).fit(Xs, scaler.transform(X_few))
     fs_seconds = sw.seconds
     logger.info("FS discovery: %.2f s (%d CI tests)", fs_seconds, sep.result_.n_tests)
 

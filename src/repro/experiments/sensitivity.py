@@ -22,11 +22,13 @@ def variant_counts(
     *,
     preset: str | ExperimentPreset | None = None,
     random_state: int = 0,
+    n_jobs: int = 1,
 ) -> dict:
     """FS-identified variant counts (and recall/precision) per shot budget."""
     preset = preset if isinstance(preset, ExperimentPreset) else get_preset(preset)
     bench = make_benchmark(dataset, preset, random_state=random_state)
-    shared = SharedArtifacts(bench, preset, random_state=random_state)
+    shared = SharedArtifacts(bench, preset, random_state=random_state, n_jobs=n_jobs)
+    shared.prebuild(preset.shots)
     truth = set(bench.true_variant_indices.tolist())
     rows = []
     for shots in preset.shots:

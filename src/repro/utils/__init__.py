@@ -9,14 +9,18 @@ from repro.utils.errors import (
     ValidationError,
 )
 from repro.utils.validation import (
+    ValidatedArray,
     check_array,
     check_consistent_features,
     check_is_fitted,
     check_random_state,
     check_X_y,
+    mark_validated,
 )
 
 __all__ = [
+    "ValidatedArray",
+    "mark_validated",
     "ConfigurationError",
     "ConvergenceError",
     "GraphError",

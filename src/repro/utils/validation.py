@@ -13,6 +13,22 @@ import numpy as np
 from repro.utils.errors import NotFittedError, ValidationError
 
 
+class ValidatedArray(np.ndarray):
+    """An ndarray subclass marking data that already passed :func:`check_array`.
+
+    Hot loops (the PC skeleton, F-node discovery) call validated helpers per
+    CI test; re-scanning the same matrix for NaNs thousands of times is pure
+    overhead.  Wrapping the matrix once with :func:`mark_validated` lets
+    ``check_array`` short-circuit.  Only mark data that really went through
+    full validation — slices and views inherit the mark.
+    """
+
+
+def mark_validated(arr: np.ndarray) -> "ValidatedArray":
+    """Tag an already-validated array so later ``check_array`` calls are free."""
+    return np.asarray(arr).view(ValidatedArray)
+
+
 def check_array(
     X,
     *,
@@ -44,6 +60,13 @@ def check_array(
     numpy.ndarray
         The validated array (a copy only if conversion was required).
     """
+    if isinstance(X, ValidatedArray):
+        if (
+            X.ndim == ndim
+            and X.shape[0] >= min_samples
+            and (dtype is None or X.dtype == dtype)
+        ):
+            return X
     try:
         arr = np.asarray(X, dtype=dtype)
     except (TypeError, ValueError) as exc:
