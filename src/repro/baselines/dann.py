@@ -150,4 +150,5 @@ class DANN(DAMethod):
     def embed(self, X) -> np.ndarray:
         """Domain-independent embeddings (for analysis/tests)."""
         check_is_fitted(self, "extractor_")
-        return self.extractor_.forward(self.scaler_.transform(X), training=False)
+        # forward returns a reused workspace buffer — hand back a copy
+        return self.extractor_.forward(self.scaler_.transform(X), training=False).copy()

@@ -124,7 +124,8 @@ class _EpisodicEmbedder:
 
     def embed(self, X: np.ndarray) -> np.ndarray:
         check_is_fitted(self, "trunk_")
-        return self.trunk_.forward(X, training=False)
+        # forward returns a reused workspace buffer — hand back a copy
+        return self.trunk_.forward(X, training=False).copy()
 
 
 class ProtoNet(DAMethod):

@@ -8,6 +8,7 @@ Usage::
     python -m repro counts --dataset 5gc
     python -m repro runtime --dataset 5gipc --preset fast --trace -v
     python -m repro bench --dataset 5gc --preset smoke --n-jobs -1
+    python -m repro bench --suite nn --dataset 5gc --preset smoke
 
 Each subcommand runs one artifact of the paper's evaluation section and
 prints it in the paper's layout (see EXPERIMENTS.md for the mapping).
@@ -35,6 +36,7 @@ import sys
 from repro.experiments import (
     format_ablation,
     format_bench,
+    format_bench_nn,
     format_multitarget,
     format_runtime,
     format_table1,
@@ -43,6 +45,7 @@ from repro.experiments import (
     measure_runtime,
     run_ablation,
     run_bench,
+    run_bench_nn,
     run_multitarget,
     run_table1,
     summarize_improvement,
@@ -121,15 +124,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="perf benchmark: batched CI engine vs the reference FS loop",
+        help="perf benchmark: FS CI engine or the fused NN training engine",
     )
     add_common(p)
+    p.add_argument("--suite", choices=("fs", "nn"), default="fs",
+                   help="fs = batched CI engine vs reference FS loop; "
+                   "nn = fused cGAN training/serving vs the frozen "
+                   "reference implementations")
     p.add_argument("--shots", type=int, default=10,
-                   help="few-shot target budget for FS discovery")
-    p.add_argument("--out", metavar="PATH", default="BENCH_fs.json",
-                   help="benchmark record file (merged, seed-keyed)")
+                   help="few-shot target budget for FS discovery (fs suite)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="benchmark record file (merged, seed-keyed; default "
+                   "BENCH_fs.json / BENCH_nn.json by suite)")
     p.add_argument("--skip-gan", action="store_true",
-                   help="benchmark FS discovery only (skip GAN + inference)")
+                   help="fs suite: benchmark FS discovery only "
+                   "(skip GAN + inference)")
+    p.add_argument("--epochs", type=int, default=None,
+                   help="nn suite: override the preset's GAN epoch budget")
     return parser
 
 
@@ -200,17 +211,29 @@ def _dispatch(args, preset) -> None:
             n_jobs=args.n_jobs,
         )))
     elif args.command == "bench":
-        record = run_bench(
-            args.dataset,
-            preset=preset,
-            shots=args.shots,
-            n_jobs=args.n_jobs,
-            include_gan=not args.skip_gan,
-            random_state=args.seed,
-            out=args.out,
-        )
-        print(format_bench(record))
-        print(f"\nrecord merged into {args.out}")
+        if args.suite == "nn":
+            out = args.out or "BENCH_nn.json"
+            record = run_bench_nn(
+                args.dataset,
+                preset=preset,
+                epochs=args.epochs,
+                random_state=args.seed,
+                out=out,
+            )
+            print(format_bench_nn(record))
+        else:
+            out = args.out or "BENCH_fs.json"
+            record = run_bench(
+                args.dataset,
+                preset=preset,
+                shots=args.shots,
+                n_jobs=args.n_jobs,
+                include_gan=not args.skip_gan,
+                random_state=args.seed,
+                out=out,
+            )
+            print(format_bench(record))
+        print(f"\nrecord merged into {out}")
 
 
 def main(argv=None) -> int:

@@ -49,7 +49,9 @@ class ReconstructionConfig:
 
     ``strategy`` selects the Table II variant: ``"gan"`` (FS+GAN),
     ``"nocond"`` (FS+NoCond — discriminator not conditioned on the label),
-    ``"vae"`` (FS+VAE) or ``"autoencoder"`` (FS+VanillaAE).
+    ``"vae"`` (FS+VAE) or ``"autoencoder"`` (FS+VanillaAE).  ``dtype``
+    selects the compute dtype of the reconstruction network: ``"float64"``
+    (default, exact) or ``"float32"`` (fast path, tolerance-bounded).
     """
 
     strategy: str = "gan"
@@ -59,6 +61,7 @@ class ReconstructionConfig:
     batch_size: int = 64
     lr: float = 2e-4
     weight_decay: float = 1e-6
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.strategy not in RECONSTRUCTION_STRATEGIES:
@@ -70,6 +73,10 @@ class ReconstructionConfig:
             raise ConfigurationError("noise_dim and hidden_size must be >= 1")
         if self.epochs < 1 or self.batch_size < 1:
             raise ConfigurationError("epochs and batch_size must be >= 1")
+        if self.dtype not in ("float64", "float32"):
+            raise ConfigurationError(
+                f"dtype must be 'float64' or 'float32', got {self.dtype!r}"
+            )
 
     @classmethod
     def paper_5gc(cls) -> "ReconstructionConfig":

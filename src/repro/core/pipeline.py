@@ -222,7 +222,8 @@ class FSGANPipeline:
         check_is_fitted(self, "model_")
         if not hasattr(self.model_, "predict_proba"):
             raise ValidationError("the downstream model has no predict_proba")
-        return self.model_.predict_proba(self.transform(X, n_draws=n_draws))
+        with get_tracer().span("pipeline.predict_proba", n_samples=len(X)):
+            return self.model_.predict_proba(self.transform(X, n_draws=n_draws))
 
     def predict_source(self, X) -> np.ndarray:
         """Predict source-domain samples directly (no reconstruction)."""

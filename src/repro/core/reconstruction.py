@@ -48,6 +48,7 @@ class VariantReconstructor:
             batch_size=cfg.batch_size,
             lr=cfg.lr,
             weight_decay=cfg.weight_decay,
+            dtype=cfg.dtype,
             random_state=self.random_state,
         )
         if cfg.strategy == "gan":

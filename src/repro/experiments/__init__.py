@@ -2,12 +2,14 @@
 table and figure of the paper's evaluation section (see DESIGN.md §4)."""
 
 from repro.experiments.bench import reference_discover, run_bench, write_bench_record
+from repro.experiments.bench_nn import run_bench_nn
 from repro.experiments.models import MODEL_NAMES, model_factories
 from repro.experiments.multitarget import run_multitarget
 from repro.experiments.presets import PRESETS, ExperimentPreset, get_preset
 from repro.experiments.reporting import (
     format_ablation,
     format_bench,
+    format_bench_nn,
     format_multitarget,
     format_runtime,
     format_table1,
@@ -32,6 +34,7 @@ __all__ = [
     "SharedArtifacts",
     "format_ablation",
     "format_bench",
+    "format_bench_nn",
     "format_multitarget",
     "format_runtime",
     "format_table1",
@@ -43,6 +46,7 @@ __all__ = [
     "reference_discover",
     "run_ablation",
     "run_bench",
+    "run_bench_nn",
     "run_multitarget",
     "run_table1",
     "selection_variance",

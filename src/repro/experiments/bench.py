@@ -106,14 +106,18 @@ def bench_key(record: dict) -> str:
     return f"{record['dataset']}/{record['preset']}/seed{record['seed']}"
 
 
-def write_bench_record(record: dict, path: str) -> None:
-    """Merge ``record`` into the JSON file at ``path`` (created if absent)."""
-    doc = {"schema": BENCH_SCHEMA, "records": {}}
+def write_bench_record(record: dict, path: str, *, schema: str = BENCH_SCHEMA) -> None:
+    """Merge ``record`` into the JSON file at ``path`` (created if absent).
+
+    ``schema`` tags the file; an existing file with a different schema is
+    rewritten from scratch rather than mixed (each suite owns its file).
+    """
+    doc = {"schema": schema, "records": {}}
     if os.path.exists(path):
         try:
             with open(path, encoding="utf-8") as fh:
                 existing = json.load(fh)
-            if isinstance(existing, dict) and existing.get("schema") == BENCH_SCHEMA:
+            if isinstance(existing, dict) and existing.get("schema") == schema:
                 doc["records"].update(existing.get("records", {}))
         except (ValueError, OSError):
             pass  # unreadable file: rewrite from scratch

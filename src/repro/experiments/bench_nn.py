@@ -1,0 +1,203 @@
+"""NN-engine benchmark behind ``repro bench --suite nn``.
+
+Measures the fused, allocation-free training/serving engine of
+:mod:`repro.nn` against the pre-fusion implementations frozen in
+:mod:`repro.nn.reference`, on the paper's cGAN workload:
+
+- **training** — :class:`repro.gan.cgan.ConditionalGAN` (fused) vs
+  :class:`repro.nn.reference.ReferenceConditionalGAN` (frozen), same data,
+  same seed.  Both consume the RNG identically, so the float64 comparison
+  is bit-for-bit: the record's ``equivalent`` flag checks generator and
+  discriminator state dicts with ``np.array_equal``.
+- **serving** — the n_draws-vectorized ``generate`` (one stacked forward
+  pass) vs the frozen per-draw loop.  The stacked pass matches the loop to
+  last-ULP roundoff: BLAS picks different blocking for the tall stacked
+  matmuls (observably in odd-width output projections), so individual
+  elements may differ by one unit in the last place.  The check is
+  therefore ``|diff| <= SERVE_ATOL`` (1e-12, ~4 orders looser than the
+  observed 2e-16 and ~9 tighter than any physical signal) with the exact
+  max recorded.
+- **float32 fast path** — training wall clock at ``dtype="float32"``, plus
+  a serving tolerance check: the float64-trained generator converted with
+  ``Sequential.to("float32")`` must reproduce the float64 outputs within
+  the documented tolerance (single-pass roundoff, not trajectory
+  divergence — GAN *training* trajectories are chaotic and are not
+  compared across dtypes).
+
+Records are merged into a seed-keyed JSON file (``BENCH_nn.json`` by
+default) with the same layout as the FS benchmark file.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.experiments.bench import bench_key, write_bench_record
+from repro.experiments.presets import ExperimentPreset, get_preset
+from repro.experiments.runner import make_benchmark
+from repro.gan.cgan import ConditionalGAN
+from repro.ml.preprocessing import MinMaxScaler, one_hot
+from repro.nn.reference import ReferenceConditionalGAN
+from repro.obs.logging import get_logger
+from repro.obs.trace import Stopwatch, get_tracer
+
+#: schema tag stamped into every benchmark file this module writes
+BENCH_NN_SCHEMA = "repro.bench.nn/v1"
+
+#: serving tolerance for the float32 fast path (see EXPERIMENTS.md):
+#: one forward pass of float32 roundoff over two hidden layers
+FLOAT32_RTOL = 1e-3
+FLOAT32_ATOL = 1e-3
+
+#: float64 serving tolerance: the stacked forward differs from the
+#: per-draw loop only by BLAS blocking roundoff (last ULP, ~1e-16)
+SERVE_ATOL = 1e-12
+
+
+def _feature_split(d: int) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic invariant/variant column split (last quarter variant).
+
+    The NN suite benchmarks the training engine, not FS discovery, so the
+    split is fixed rather than discovered — roughly the variant fraction FS
+    finds on the synthetic datasets.
+    """
+    n_var = max(1, d // 4)
+    cols = np.arange(d)
+    return cols[: d - n_var], cols[d - n_var:]
+
+
+def run_bench_nn(
+    dataset: str = "5gc",
+    *,
+    preset: str | ExperimentPreset | None = None,
+    epochs: int | None = None,
+    serve_rounds: int = 3,
+    n_serve_samples: int = 64,
+    n_draws: int = 8,
+    random_state: int = 0,
+    out: str | None = None,
+) -> dict:
+    """Benchmark fused vs reference cGAN training and batched MC serving.
+
+    ``epochs`` overrides the preset's GAN budget (both sides always train
+    the same number of epochs).  Serving timings are the best of
+    ``serve_rounds`` runs per side.  Returns the record; when ``out`` is
+    given, also merges it into that benchmark file under its
+    :func:`repro.experiments.bench.bench_key`.
+    """
+    preset = preset if isinstance(preset, ExperimentPreset) else get_preset(preset)
+    tracer = get_tracer()
+    logger = get_logger("repro.experiments.bench_nn")
+    bench = make_benchmark(dataset, preset, random_state=random_state)
+    Xs = MinMaxScaler().fit_transform(bench.X_source)
+    inv_cols, var_cols = _feature_split(Xs.shape[1])
+    X_inv, X_var = Xs[:, inv_cols], Xs[:, var_cols]
+    y_onehot = one_hot(np.asarray(bench.y_source, dtype=np.int64))
+    n_epochs = int(epochs) if epochs is not None else preset.gan_epochs
+
+    gan_kwargs = dict(
+        noise_dim=preset.gan_noise_dim,
+        hidden_size=preset.gan_hidden,
+        epochs=n_epochs,
+        random_state=random_state,
+    )
+
+    with tracer.span("bench_nn.reference_train", epochs=n_epochs), Stopwatch() as sw:
+        ref = ReferenceConditionalGAN(**gan_kwargs).fit(X_inv, X_var, y_onehot)
+    ref_seconds = sw.seconds
+    logger.info("reference cGAN: %.2f s (%d epochs)", ref_seconds, n_epochs)
+
+    with tracer.span("bench_nn.fused_train", epochs=n_epochs), Stopwatch() as sw:
+        fused = ConditionalGAN(**gan_kwargs).fit(X_inv, X_var, y_onehot)
+    fused_seconds = sw.seconds
+    logger.info("fused cGAN:     %.2f s (%d epochs)", fused_seconds, n_epochs)
+
+    def _states_equal(a, b) -> bool:
+        sa, sb = a.state_dict(), b.state_dict()
+        return set(sa) == set(sb) and all(np.array_equal(sa[k], sb[k]) for k in sa)
+
+    train_equivalent = bool(
+        _states_equal(fused.generator_, ref.generator_)
+        and _states_equal(fused.discriminator_, ref.discriminator_)
+        and fused.history_ == ref.history_
+    )
+
+    # --- serving: batched MC inference vs the frozen per-draw loop
+    X_serve = X_inv[: min(n_serve_samples, X_inv.shape[0])]
+    serve_rounds = max(1, serve_rounds)
+    serve_ref = serve_fused = float("inf")
+    with tracer.span("bench_nn.serve", n_draws=n_draws, rounds=serve_rounds):
+        for _ in range(serve_rounds):
+            with Stopwatch() as sw:
+                out_ref = ref.generate(X_serve, n_draws=n_draws,
+                                       random_state=random_state)
+            serve_ref = min(serve_ref, sw.seconds)
+            with Stopwatch() as sw:
+                out_fused = fused.generate(X_serve, n_draws=n_draws,
+                                           random_state=random_state)
+            serve_fused = min(serve_fused, sw.seconds)
+    serve_max_diff = float(np.max(np.abs(out_ref - out_fused)))
+    serve_equivalent = serve_max_diff <= SERVE_ATOL
+
+    # --- float32 fast path: training wall clock + serving tolerance
+    with tracer.span("bench_nn.float32_train", epochs=n_epochs), Stopwatch() as sw:
+        ConditionalGAN(dtype="float32", **gan_kwargs).fit(X_inv, X_var, y_onehot)
+    f32_seconds = sw.seconds
+    g32 = copy.deepcopy(fused.generator_).to(np.float32)
+    z_check = np.random.default_rng(random_state).standard_normal(
+        (X_serve.shape[0], preset.gan_noise_dim)
+    )
+    serve_in = np.concatenate([X_serve, z_check], axis=1)
+    out64 = fused.generator_.forward(serve_in, training=False).copy()
+    out32 = g32.forward(serve_in.astype(np.float32), training=False)
+    f32_max_diff = float(np.max(np.abs(out64 - out32)))
+    f32_within_tol = bool(
+        np.allclose(out64, out32, rtol=FLOAT32_RTOL, atol=FLOAT32_ATOL)
+    )
+
+    record = {
+        "dataset": dataset,
+        "preset": preset.name,
+        "seed": random_state,
+        "epochs": n_epochs,
+        "hidden_size": preset.gan_hidden,
+        "noise_dim": preset.gan_noise_dim,
+        "n_samples": int(X_inv.shape[0]),
+        "n_invariant": int(X_inv.shape[1]),
+        "n_variant": int(X_var.shape[1]),
+        "before": {
+            "train_seconds": ref_seconds,
+            "epochs_per_sec": n_epochs / max(ref_seconds, 1e-9),
+            "serve_seconds": serve_ref,
+        },
+        "after": {
+            "train_seconds": fused_seconds,
+            "epochs_per_sec": n_epochs / max(fused_seconds, 1e-9),
+            "serve_seconds": serve_fused,
+        },
+        "speedup": ref_seconds / max(fused_seconds, 1e-9),
+        "equivalent": train_equivalent,
+        "serve": {
+            "n_samples": int(X_serve.shape[0]),
+            "n_draws": int(n_draws),
+            "speedup": serve_ref / max(serve_fused, 1e-9),
+            "max_abs_diff": serve_max_diff,
+            "equivalent": serve_equivalent,
+        },
+        "float32": {
+            "train_seconds": f32_seconds,
+            "speedup_vs_float64": fused_seconds / max(f32_seconds, 1e-9),
+            "serve_max_abs_diff": f32_max_diff,
+            "within_tolerance": f32_within_tol,
+        },
+    }
+    if out:
+        write_bench_record(record, out, schema=BENCH_NN_SCHEMA)
+        logger.info("benchmark record written to %s", out)
+    return record
+
+
+__all__ = ["BENCH_NN_SCHEMA", "FLOAT32_ATOL", "FLOAT32_RTOL", "SERVE_ATOL",
+           "run_bench_nn", "bench_key"]

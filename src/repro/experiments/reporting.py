@@ -162,6 +162,34 @@ def format_bench(record: dict) -> str:
     return "\n".join(lines)
 
 
+def format_bench_nn(record: dict) -> str:
+    """Render the ``repro bench --suite nn`` fused-engine summary."""
+    before, after = record["before"], record["after"]
+    serve, f32 = record["serve"], record["float32"]
+    lines = [
+        f"NN fused-engine benchmark ({record['dataset']}, "
+        f"preset={record['preset']}, seed={record['seed']}, "
+        f"{record['n_invariant']}+{record['n_variant']} features, "
+        f"hidden={record['hidden_size']}, {record['epochs']} epochs)",
+        f"  reference train: {before['train_seconds']:8.2f} s "
+        f"({before['epochs_per_sec']:.1f} epochs/s)",
+        f"  fused train:     {after['train_seconds']:8.2f} s "
+        f"({after['epochs_per_sec']:.1f} epochs/s)",
+        f"  train speedup:   {record['speedup']:8.2f}x "
+        + ("(float64 bit-identical)" if record["equivalent"] else "(RESULTS DIFFER)"),
+        f"  serve (n_draws={serve['n_draws']}): "
+        f"{before['serve_seconds'] * 1000:7.2f} ms -> "
+        f"{after['serve_seconds'] * 1000:7.2f} ms "
+        f"({serve['speedup']:.2f}x, max|diff| {serve['max_abs_diff']:.1e}"
+        + (")" if serve["equivalent"] else ", OUT OF TOLERANCE)"),
+        f"  float32 train:   {f32['train_seconds']:8.2f} s "
+        f"({f32['speedup_vs_float64']:.2f}x vs float64 fused)",
+        f"  float32 serving: max|diff| {f32['serve_max_abs_diff']:.2e} "
+        + ("(within tolerance)" if f32["within_tolerance"] else "(OUT OF TOLERANCE)"),
+    ]
+    return "\n".join(lines)
+
+
 def summarize_improvement(results: list[CellResult]) -> dict:
     """The paper's headline metric: drift-mitigation improvement over SrcOnly.
 

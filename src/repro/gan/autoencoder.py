@@ -17,14 +17,24 @@ from repro.nn.layers import BatchNorm1d, Dense, ReLU, Tanh
 from repro.nn.losses import MSELoss
 from repro.nn.network import Sequential, iterate_minibatches
 from repro.nn.optimizers import Adam
+from repro.nn.workspace import Workspace
 from repro.obs.hooks import as_hook
 from repro.obs.metrics import get_metrics
 from repro.utils.errors import ValidationError
-from repro.utils.validation import check_array, check_is_fitted, check_random_state
+from repro.utils.validation import (
+    check_array,
+    check_dtype,
+    check_is_fitted,
+    check_random_state,
+)
 
 
 class VanillaAutoencoder:
-    """Deterministic ``X_inv → X_var`` reconstruction network."""
+    """Deterministic ``X_inv → X_var`` reconstruction network.
+
+    ``dtype`` selects the compute dtype: ``"float64"`` (default, exact) or
+    ``"float32"`` (fast path, tolerance-bounded).
+    """
 
     def __init__(
         self,
@@ -34,10 +44,13 @@ class VanillaAutoencoder:
         batch_size: int = 64,
         lr: float = 2e-4,
         weight_decay: float = 1e-6,
+        dtype="float64",
         random_state=None,
     ) -> None:
         if hidden_size < 1 or epochs < 1 or batch_size < 1:
             raise ValidationError("hidden_size, epochs and batch_size must be >= 1")
+        self.dtype = dtype
+        self._dtype = check_dtype(dtype)
         self.hidden_size = hidden_size
         self.epochs = epochs
         self.batch_size = batch_size
@@ -61,6 +74,9 @@ class VanillaAutoencoder:
             raise ValidationError("X_inv and X_var must have the same number of rows")
         self.n_invariant_ = X_inv.shape[1]
         self.n_variant_ = X_var.shape[1]
+        dt = self._dtype = check_dtype(self.dtype)
+        X_inv = np.ascontiguousarray(X_inv, dtype=dt)
+        X_var = np.ascontiguousarray(X_var, dtype=dt)
         rng = check_random_state(self.random_state)
         h = self.hidden_size
         seed = lambda: int(rng.integers(0, 2**31 - 1))  # noqa: E731
@@ -76,9 +92,12 @@ class VanillaAutoencoder:
                 Tanh(),
             ]
         )
+        if dt != np.float64:
+            self.network_.to(dt)
         opt = Adam(self.network_.trainable_layers(), lr=self.lr,
                    weight_decay=self.weight_decay)
         loss_fn = MSELoss()
+        ws = Workspace()
         n = X_inv.shape[0]
         batch = min(self.batch_size, n)
         self.history_ = []
@@ -92,8 +111,13 @@ class VanillaAutoencoder:
             grad_norm = 0.0
             losses = []
             for idx in iterate_minibatches(n, batch, rng):
-                pred = self.network_.forward(X_inv[idx], training=True)
-                losses.append(loss_fn.forward(pred, X_var[idx]))
+                m = idx.shape[0]
+                inv = ws.get("inv", (m, self.n_invariant_), dt)
+                np.take(X_inv, idx, axis=0, out=inv)
+                var = ws.get("var", (m, self.n_variant_), dt)
+                np.take(X_var, idx, axis=0, out=var)
+                pred = self.network_.forward(inv, training=True)
+                losses.append(loss_fn.forward(pred, var))
                 self.network_.backward(loss_fn.backward())
                 if grad_norms:
                     grad_norm = opt.grad_norm()
@@ -122,4 +146,6 @@ class VanillaAutoencoder:
             raise ValidationError(
                 f"expected {self.n_invariant_} invariant features, got {X_inv.shape[1]}"
             )
-        return self.network_.forward(X_inv, training=False)
+        # forward returns a reused workspace buffer — hand back a fresh array
+        out = self.network_.forward(X_inv, training=False)
+        return np.array(out, dtype=np.float64)

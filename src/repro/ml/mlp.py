@@ -14,6 +14,7 @@ from repro.nn.layers import Dense, Dropout, ReLU
 from repro.nn.losses import SoftmaxCrossEntropy, softmax
 from repro.nn.network import Sequential, iterate_minibatches
 from repro.nn.optimizers import Adam
+from repro.nn.workspace import Workspace
 from repro.utils.errors import ValidationError
 from repro.utils.validation import (
     check_array,
@@ -113,15 +114,23 @@ class MLPClassifier:
         optimizer = Adam(self.network_.trainable_layers(), lr=lr,
                          weight_decay=self.weight_decay)
         batch = min(self.batch_size, X.shape[0])
+        ws = Workspace()  # minibatch gather buffers, reused across epochs
         for _ in range(epochs):
             epoch_loss = 0.0
             n_batches = 0
             for idx in iterate_minibatches(X.shape[0], batch, rng):
-                logits = self.network_.forward(X[idx], training=True)
-                epoch_loss += loss_fn.forward(logits, targets[idx])
+                m = idx.shape[0]
+                xb = ws.get("xb", (m, X.shape[1]), X.dtype)
+                np.take(X, idx, axis=0, out=xb)
+                tb = ws.get("tb", (m, n_classes), targets.dtype)
+                np.take(targets, idx, axis=0, out=tb)
+                logits = self.network_.forward(xb, training=True)
+                epoch_loss += loss_fn.forward(logits, tb)
                 grad = loss_fn.backward()
                 if w is not None:
-                    grad = grad * w[idx][:, None]
+                    wb = ws.get("wb", (m,), w.dtype)
+                    np.take(w, idx, out=wb)
+                    np.multiply(grad, wb[:, None], out=grad)
                 self.network_.backward(grad)
                 optimizer.step()
                 optimizer.zero_grad()
@@ -133,7 +142,8 @@ class MLPClassifier:
         check_is_fitted(self, "network_")
         X = check_array(X)
         check_consistent_features(X, self.n_features_)
-        return self.network_.forward(X, training=False)
+        # forward returns a reused workspace buffer — hand back a copy
+        return self.network_.forward(X, training=False).copy()
 
     def predict_proba(self, X) -> np.ndarray:
         return softmax(self.decision_function(X), axis=1)

@@ -195,7 +195,8 @@ class TNetClassifier:
         check_is_fitted(self, "network_")
         X = check_array(X)
         check_consistent_features(X, self.n_features_)
-        return self.network_.forward(X, training=False)
+        # forward may return a reused workspace buffer — hand back a copy
+        return self.network_.forward(X, training=False).copy()
 
     def predict_proba(self, X) -> np.ndarray:
         return softmax(self.decision_function(X), axis=1)

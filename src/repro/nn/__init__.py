@@ -32,6 +32,7 @@ from repro.nn.losses import (
 )
 from repro.nn.network import Sequential, iterate_minibatches
 from repro.nn.optimizers import SGD, Adam, Optimizer
+from repro.nn.workspace import Workspace
 
 __all__ = [
     "Adam",
@@ -54,6 +55,7 @@ __all__ = [
     "Sigmoid",
     "SoftmaxCrossEntropy",
     "Tanh",
+    "Workspace",
     "get_initializer",
     "glorot_uniform",
     "he_normal",

@@ -1,4 +1,4 @@
-"""Layers for the numpy neural-network substrate.
+"""Layers for the numpy neural-network substrate (fused engine).
 
 Every layer implements the explicit-backprop protocol:
 
@@ -8,6 +8,26 @@ Every layer implements the explicit-backprop protocol:
 
 Shapes are ``(batch, features)`` throughout.  This substrate replaces PyTorch
 (unavailable offline) for all the paper's neural components.
+
+**Buffer ownership (fused engine).**  Layers write activations, masks and
+input gradients into preallocated :class:`~repro.nn.workspace.Workspace`
+buffers keyed by batch shape, and ``backward`` writes parameter gradients
+into the *existing* ``grads`` arrays (``out=`` ufunc forms throughout), so
+after the first minibatch of a given shape a training step allocates
+nothing.  The contract this buys:
+
+- an array returned by ``layer.forward``/``layer.backward`` is owned by that
+  layer and valid only until its **next** forward/backward call — model-level
+  ``predict``/``generate`` surfaces copy at the boundary;
+- a layer never mutates its input ``x`` or ``grad_output`` (they belong to
+  the neighbouring layer);
+- the ``grads`` arrays are stable objects for the whole life of the layer —
+  optimizers may alias them.
+
+All float64 computations are bit-identical to the pre-fusion implementations
+frozen in :mod:`repro.nn.reference` (same ufuncs, same operation order);
+random draws are always taken at float64 so the float32 fast path (see
+:meth:`Layer.to`) consumes the RNG stream identically.
 """
 
 from __future__ import annotations
@@ -15,6 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.initializers import get_initializer, zeros
+from repro.nn.workspace import Workspace
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_random_state
 
@@ -25,12 +46,26 @@ class Layer:
     def __init__(self) -> None:
         self.params: dict[str, np.ndarray] = {}
         self.grads: dict[str, np.ndarray] = {}
+        self._ws = Workspace()
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         raise NotImplementedError
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def to(self, dtype) -> "Layer":
+        """Convert parameters/gradients to ``dtype`` and reset the workspace.
+
+        Call before training (the optimizers size their state off the
+        parameter arrays).  Returns ``self`` for chaining.
+        """
+        dtype = np.dtype(dtype)
+        for key in self.params:
+            self.params[key] = np.ascontiguousarray(self.params[key], dtype=dtype)
+            self.grads[key] = np.ascontiguousarray(self.grads[key], dtype=dtype)
+        self._ws.clear()
+        return self
 
     def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         return self.forward(x, training=training)
@@ -68,24 +103,37 @@ class Dense(Layer):
                 f"Dense expected {self.in_features} input features, got {x.shape[1]}"
             )
         self._x = x
-        return x @ self.params["W"] + self.params["b"]
+        W, b = self.params["W"], self.params["b"]
+        out = self._ws.get("out", (x.shape[0], self.out_features), W.dtype)
+        np.matmul(x, W, out=out)
+        out += b
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         x = self._x
-        self.grads["W"] = x.T @ grad_output
-        self.grads["b"] = grad_output.sum(axis=0)
-        return grad_output @ self.params["W"].T
+        W = self.params["W"]
+        np.matmul(x.T, grad_output, out=self.grads["W"])
+        np.sum(grad_output, axis=0, out=self.grads["b"])
+        gin = self._ws.get("gin", (grad_output.shape[0], self.in_features), W.dtype)
+        np.matmul(grad_output, W.T, out=gin)
+        return gin
 
 
 class ReLU(Layer):
     """Rectified linear unit."""
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._mask = x > 0
-        return x * self._mask
+        mask = self._ws.get("mask", x.shape, bool)
+        np.greater(x, 0, out=mask)
+        self._mask = mask
+        out = self._ws.get("out", x.shape, x.dtype)
+        np.multiply(x, mask, out=out)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        return grad_output * self._mask
+        gin = self._ws.get("gin", grad_output.shape, grad_output.dtype)
+        np.multiply(grad_output, self._mask, out=gin)
+        return gin
 
 
 class LeakyReLU(Layer):
@@ -98,33 +146,59 @@ class LeakyReLU(Layer):
         self.negative_slope = negative_slope
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._mask = x > 0
-        return np.where(self._mask, x, self.negative_slope * x)
+        mask = self._ws.get("mask", x.shape, bool)
+        np.greater(x, 0, out=mask)
+        self._mask = mask
+        out = self._ws.get("out", x.shape, x.dtype)
+        np.multiply(x, self.negative_slope, out=out)
+        np.copyto(out, x, where=mask)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        return np.where(self._mask, grad_output, self.negative_slope * grad_output)
+        gin = self._ws.get("gin", grad_output.shape, grad_output.dtype)
+        np.multiply(grad_output, self.negative_slope, out=gin)
+        np.copyto(gin, grad_output, where=self._mask)
+        return gin
 
 
 class Tanh(Layer):
     """Hyperbolic tangent (generator output for continuous columns)."""
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._out = np.tanh(x)
-        return self._out
+        out = self._ws.get("out", x.shape, x.dtype)
+        np.tanh(x, out=out)
+        self._out = out
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        return grad_output * (1.0 - self._out**2)
+        gin = self._ws.get("gin", grad_output.shape, grad_output.dtype)
+        np.square(self._out, out=gin)
+        np.subtract(1.0, gin, out=gin)
+        np.multiply(grad_output, gin, out=gin)
+        return gin
 
 
 class Sigmoid(Layer):
     """Logistic sigmoid (discriminator output)."""
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._out = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
-        return self._out
+        out = self._ws.get("out", x.shape, x.dtype)
+        np.clip(x, -60.0, 60.0, out=out)
+        np.negative(out, out=out)
+        np.exp(out, out=out)
+        out += 1.0
+        np.divide(1.0, out, out=out)
+        self._out = out
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        return grad_output * self._out * (1.0 - self._out)
+        out = self._out
+        gin = self._ws.get("gin", grad_output.shape, grad_output.dtype)
+        tmp = self._ws.get("tmp", grad_output.shape, grad_output.dtype)
+        np.multiply(grad_output, out, out=gin)
+        np.subtract(1.0, out, out=tmp)
+        np.multiply(gin, tmp, out=gin)
+        return gin
 
 
 class Dropout(Layer):
@@ -143,13 +217,25 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
-        return x * self._mask
+        # draw at float64 regardless of compute dtype: the RNG stream (and
+        # therefore the mask) must match the float64 reference bit for bit
+        u = self._ws.get("u", x.shape, np.float64)
+        self._rng.random(out=u)
+        keep_mask = self._ws.get("keep", x.shape, bool)
+        np.less(u, keep, out=keep_mask)
+        mask = self._ws.get("mask", x.shape, x.dtype)
+        np.divide(keep_mask, keep, out=mask)
+        self._mask = mask
+        out = self._ws.get("out", x.shape, x.dtype)
+        np.multiply(x, mask, out=out)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             return grad_output
-        return grad_output * self._mask
+        gin = self._ws.get("gin", grad_output.shape, grad_output.dtype)
+        np.multiply(grad_output, self._mask, out=gin)
+        return gin
 
 
 class BatchNorm1d(Layer):
@@ -170,32 +256,71 @@ class BatchNorm1d(Layer):
         self.running_mean = np.zeros(num_features)
         self.running_var = np.ones(num_features)
 
+    def to(self, dtype) -> "BatchNorm1d":
+        super().to(dtype)
+        dtype = np.dtype(dtype)
+        self.running_mean = np.ascontiguousarray(self.running_mean, dtype=dtype)
+        self.running_var = np.ascontiguousarray(self.running_var, dtype=dtype)
+        return self
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if x.shape[1] != self.num_features:
             raise ValidationError(
                 f"BatchNorm1d expected {self.num_features} features, got {x.shape[1]}"
             )
+        d = self.num_features
+        dt = x.dtype
         if training:
-            mean = x.mean(axis=0)
-            var = x.var(axis=0)
-            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
-            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+            mean = self._ws.get("mean", (d,), dt)
+            var = self._ws.get("var", (d,), dt)
+            np.mean(x, axis=0, out=mean)
+            np.var(x, axis=0, out=var)
+            tmp = self._ws.get("stat_tmp", (d,), dt)
+            self.running_mean *= self.momentum
+            np.multiply(mean, 1 - self.momentum, out=tmp)
+            self.running_mean += tmp
+            self.running_var *= self.momentum
+            np.multiply(var, 1 - self.momentum, out=tmp)
+            self.running_var += tmp
         else:
             mean, var = self.running_mean, self.running_var
-        self._std = np.sqrt(var + self.eps)
-        self._x_hat = (x - mean) / self._std
+        std = self._ws.get("std", (d,), dt)
+        np.add(var, self.eps, out=std)
+        np.sqrt(std, out=std)
+        self._std = std
+        x_hat = self._ws.get("x_hat", x.shape, dt)
+        np.subtract(x, mean, out=x_hat)
+        np.divide(x_hat, std, out=x_hat)
+        self._x_hat = x_hat
         self._training = training
-        return self.params["gamma"] * self._x_hat + self.params["beta"]
+        out = self._ws.get("out", x.shape, dt)
+        np.multiply(x_hat, self.params["gamma"], out=out)
+        out += self.params["beta"]
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         x_hat, std = self._x_hat, self._std
-        self.grads["gamma"] = (grad_output * x_hat).sum(axis=0)
-        self.grads["beta"] = grad_output.sum(axis=0)
-        g = grad_output * self.params["gamma"]
+        dt = grad_output.dtype
+        tmp = self._ws.get("tmp", grad_output.shape, dt)
+        np.multiply(grad_output, x_hat, out=tmp)
+        np.sum(tmp, axis=0, out=self.grads["gamma"])
+        np.sum(grad_output, axis=0, out=self.grads["beta"])
+        gin = self._ws.get("gin", grad_output.shape, dt)
+        np.multiply(grad_output, self.params["gamma"], out=gin)
         if not self._training:
-            return g / std
-        n = grad_output.shape[0]
-        return (g - g.mean(axis=0) - x_hat * (g * x_hat).mean(axis=0)) / std
+            np.divide(gin, std, out=gin)
+            return gin
+        d = self.num_features
+        g_mean = self._ws.get("g_mean", (d,), dt)
+        np.mean(gin, axis=0, out=g_mean)
+        gx_mean = self._ws.get("gx_mean", (d,), dt)
+        np.multiply(gin, x_hat, out=tmp)
+        np.mean(tmp, axis=0, out=gx_mean)
+        np.multiply(x_hat, gx_mean, out=tmp)
+        np.subtract(gin, g_mean, out=gin)
+        gin -= tmp
+        np.divide(gin, std, out=gin)
+        return gin
 
 
 class GradientReversal(Layer):
@@ -213,7 +338,9 @@ class GradientReversal(Layer):
         return x
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        return -self.lambda_ * grad_output
+        gin = self._ws.get("gin", grad_output.shape, grad_output.dtype)
+        np.multiply(grad_output, -self.lambda_, out=gin)
+        return gin
 
 
 class Concat(Layer):
@@ -232,7 +359,11 @@ class Concat(Layer):
         if self.condition is None:
             raise ValidationError("Concat.condition must be set before forward()")
         self._split = x.shape[1]
-        return np.concatenate([x, self.condition], axis=1)
+        cond = self.condition
+        out = self._ws.get("out", (x.shape[0], x.shape[1] + cond.shape[1]), x.dtype)
+        out[:, : self._split] = x
+        out[:, self._split:] = cond
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         return grad_output[:, : self._split]
@@ -256,17 +387,40 @@ class GumbelSoftmax(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if training:
-            uniform = np.clip(self._rng.random(x.shape), 1e-12, 1.0 - 1e-12)
-            x = x + (-np.log(-np.log(uniform)))
-        z = (x - x.max(axis=1, keepdims=True)) / self.temperature
-        e = np.exp(z)
-        self._out = e / e.sum(axis=1, keepdims=True)
-        return self._out
+            # Gumbel noise drawn at float64 (stream parity with reference)
+            u = self._ws.get("u", x.shape, np.float64)
+            self._rng.random(out=u)
+            np.clip(u, 1e-12, 1.0 - 1e-12, out=u)
+            np.log(u, out=u)
+            np.negative(u, out=u)
+            np.log(u, out=u)
+            np.negative(u, out=u)
+            logits = self._ws.get("logits", x.shape, x.dtype)
+            np.add(x, u, out=logits)
+        else:
+            logits = x
+        row = self._ws.get("row", (x.shape[0], 1), x.dtype)
+        np.max(logits, axis=1, keepdims=True, out=row)
+        out = self._ws.get("out", x.shape, x.dtype)
+        np.subtract(logits, row, out=out)
+        out /= self.temperature
+        np.exp(out, out=out)
+        np.sum(out, axis=1, keepdims=True, out=row)
+        np.divide(out, row, out=out)
+        self._out = out
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         s = self._out
-        dot = np.sum(grad_output * s, axis=1, keepdims=True)
-        return s * (grad_output - dot) / self.temperature
+        tmp = self._ws.get("tmp", grad_output.shape, grad_output.dtype)
+        dot = self._ws.get("dot", (grad_output.shape[0], 1), grad_output.dtype)
+        np.multiply(grad_output, s, out=tmp)
+        np.sum(tmp, axis=1, keepdims=True, out=dot)
+        gin = self._ws.get("gin", grad_output.shape, grad_output.dtype)
+        np.subtract(grad_output, dot, out=gin)
+        np.multiply(s, gin, out=gin)
+        gin /= self.temperature
+        return gin
 
 
 class BlockActivation(Layer):
@@ -292,19 +446,25 @@ class BlockActivation(Layer):
             pos += width
         self.total_width = pos
 
+    def to(self, dtype) -> "BlockActivation":
+        super().to(dtype)
+        for _width, layer in self.blocks:
+            layer.to(dtype)
+        return self
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if x.shape[1] != self.total_width:
             raise ValidationError(
                 f"BlockActivation expected {self.total_width} features, "
                 f"got {x.shape[1]}"
             )
-        out = np.empty_like(x)
+        out = self._ws.get("out", x.shape, x.dtype)
         for (a, b), (_w, layer) in zip(self._slices, self.blocks):
             out[:, a:b] = layer.forward(x[:, a:b], training=training)
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        grad = np.empty_like(grad_output)
+        grad = self._ws.get("gin", grad_output.shape, grad_output.dtype)
         for (a, b), (_w, layer) in zip(self._slices, self.blocks):
             grad[:, a:b] = layer.backward(grad_output[:, a:b])
         return grad

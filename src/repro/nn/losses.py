@@ -1,14 +1,21 @@
-"""Loss functions for the numpy neural-network substrate.
+"""Loss functions for the numpy neural-network substrate (fused engine).
 
 Each loss exposes ``forward(prediction, target) -> float`` and
 ``backward() -> np.ndarray`` returning the gradient w.r.t. the prediction,
 already divided by the batch size so optimizers see mean gradients.
+
+Like the layers, losses keep shape-keyed workspace buffers: after the first
+batch of a given shape, ``forward``/``backward`` allocate nothing, and the
+float64 results are bit-identical to the pre-fusion forms (same ufuncs, same
+operation order).  The array returned by ``backward`` is owned by the loss
+and valid until its next ``forward`` call.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.workspace import Workspace
 from repro.utils.errors import ValidationError
 
 _EPS = 1e-12
@@ -16,6 +23,9 @@ _EPS = 1e-12
 
 class Loss:
     """Base class for losses."""
+
+    def __init__(self) -> None:
+        self._ws = Workspace()
 
     def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
         raise NotImplementedError
@@ -35,11 +45,19 @@ class MSELoss(Loss):
             raise ValidationError(
                 f"MSE shapes differ: {prediction.shape} vs {target.shape}"
             )
-        self._diff = prediction - target
-        return float(np.mean(self._diff**2))
+        diff = self._ws.get("diff", prediction.shape, np.result_type(prediction, target))
+        np.subtract(prediction, target, out=diff)
+        self._diff = diff
+        sq = self._ws.get("sq", diff.shape, diff.dtype)
+        np.square(diff, out=sq)
+        return float(np.mean(sq))
 
     def backward(self) -> np.ndarray:
-        return 2.0 * self._diff / self._diff.size
+        diff = self._diff
+        grad = self._ws.get("grad", diff.shape, diff.dtype)
+        np.multiply(2.0, diff, out=grad)
+        grad /= diff.size
+        return grad
 
 
 class BinaryCrossEntropy(Loss):
@@ -54,13 +72,33 @@ class BinaryCrossEntropy(Loss):
             raise ValidationError(
                 f"BCE shapes differ: {prediction.shape} vs {target.shape}"
             )
-        p = np.clip(prediction, _EPS, 1.0 - _EPS)
+        dt = np.result_type(prediction, target)
+        p = self._ws.get("p", prediction.shape, dt)
+        np.clip(prediction, _EPS, 1.0 - _EPS, out=p)
         self._p, self._t = p, target
-        return float(-np.mean(target * np.log(p) + (1.0 - target) * np.log(1.0 - p)))
+        # target * log(p) + (1 - target) * log(1 - p), kept in that order
+        a = self._ws.get("a", p.shape, dt)
+        b = self._ws.get("b", p.shape, dt)
+        c = self._ws.get("c", p.shape, dt)
+        np.log(p, out=a)
+        np.multiply(target, a, out=a)
+        np.subtract(1.0, p, out=b)
+        np.log(b, out=b)
+        np.subtract(1.0, target, out=c)
+        np.multiply(c, b, out=b)
+        np.add(a, b, out=a)
+        return float(-np.mean(a))
 
     def backward(self) -> np.ndarray:
         p, t = self._p, self._t
-        return ((p - t) / (p * (1.0 - p))) / p.size
+        grad = self._ws.get("grad", p.shape, p.dtype)
+        tmp = self._ws.get("tmp", p.shape, p.dtype)
+        np.subtract(p, t, out=grad)
+        np.subtract(1.0, p, out=tmp)
+        np.multiply(p, tmp, out=tmp)
+        np.divide(grad, tmp, out=grad)
+        grad /= p.size
+        return grad
 
 
 class SoftmaxCrossEntropy(Loss):
@@ -75,15 +113,30 @@ class SoftmaxCrossEntropy(Loss):
             raise ValidationError(
                 f"Cross-entropy shapes differ: {prediction.shape} vs {target.shape}"
             )
-        z = prediction - prediction.max(axis=1, keepdims=True)
-        exp = np.exp(z)
-        self._probs = exp / exp.sum(axis=1, keepdims=True)
+        dt = np.result_type(prediction, target)
+        row = self._ws.get("row", (prediction.shape[0], 1), dt)
+        np.max(prediction, axis=1, keepdims=True, out=row)
+        z = self._ws.get("z", prediction.shape, dt)
+        np.subtract(prediction, row, out=z)
+        probs = self._ws.get("probs", z.shape, dt)
+        np.exp(z, out=probs)
+        np.sum(probs, axis=1, keepdims=True, out=row)
+        logp = self._ws.get("logp", z.shape, dt)
+        np.log(row, out=self._ws.get("logsum", row.shape, dt))
+        np.subtract(z, self._ws.get("logsum", row.shape, dt), out=logp)
+        np.divide(probs, row, out=probs)
+        self._probs = probs
         self._t = target
-        logp = z - np.log(exp.sum(axis=1, keepdims=True))
-        return float(-np.mean(np.sum(target * logp, axis=1)))
+        np.multiply(target, logp, out=logp)
+        per_row = self._ws.get("per_row", (z.shape[0],), dt)
+        np.sum(logp, axis=1, out=per_row)
+        return float(-np.mean(per_row))
 
     def backward(self) -> np.ndarray:
-        return (self._probs - self._t) / self._t.shape[0]
+        grad = self._ws.get("grad", self._probs.shape, self._probs.dtype)
+        np.subtract(self._probs, self._t, out=grad)
+        grad /= self._t.shape[0]
+        return grad
 
     @property
     def probabilities(self) -> np.ndarray:

@@ -28,6 +28,19 @@ class Sequential(Layer):
             grad_output = layer.backward(grad_output)
         return grad_output
 
+    def to(self, dtype) -> "Sequential":
+        """Convert every layer's parameters/buffers to ``dtype`` (in order).
+
+        ``float64`` is the default compute dtype everywhere; ``float32`` is
+        the fast path for training/serving where tolerance-bounded deviation
+        from the float64 trajectory is acceptable.  Call before constructing
+        the optimizer (optimizer state is sized off the parameter arrays).
+        """
+        for layer in self.layers:
+            layer.to(dtype)
+        self._ws.clear()
+        return self
+
     def trainable_layers(self) -> list[Layer]:
         """All layers carrying parameters, flattening nested Sequentials."""
         found: list[Layer] = []

@@ -1,0 +1,61 @@
+"""Shape-keyed scratch-buffer pool backing the fused nn engine.
+
+Minibatch training on the numpy substrate used to allocate dozens of
+temporaries per batch (layer activations, masks, input gradients, optimizer
+scratch).  A :class:`Workspace` turns each of those into a named, preallocated
+buffer keyed by ``(name, shape, dtype)``: the first batch of a given shape
+allocates, every later batch reuses.  Training loops typically see exactly two
+shapes per tensor (the full batch and the smaller remainder batch), so the
+pool stays tiny while the steady state allocates nothing.
+
+Buffers are owned by whoever holds the workspace — a layer's forward output
+is valid only until that layer's next forward call.  Code that hands arrays
+to callers (model ``predict``/``generate`` surfaces) must copy at the
+boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Named, shape-keyed pool of reusable numpy buffers."""
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self) -> None:
+        self._bufs: dict[tuple, np.ndarray] = {}
+
+    def get(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        """Return the buffer for ``(name, shape, dtype)``, allocating once.
+
+        The contents are unspecified on first use — callers must fully
+        overwrite (``out=`` semantics), never read-modify-write.
+        """
+        if not isinstance(shape, tuple):
+            shape = tuple(shape)
+        key = (name, shape, np.dtype(dtype).char)
+        buf = self._bufs.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._bufs[key] = buf
+        return buf
+
+    def zeros(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        """Like :meth:`get`, but the buffer is zero-filled on every call."""
+        buf = self.get(name, shape, dtype)
+        buf[...] = 0.0
+        return buf
+
+    def clear(self) -> None:
+        """Drop every buffer (e.g. after a dtype switch)."""
+        self._bufs.clear()
+
+    def __len__(self) -> int:
+        return len(self._bufs)
+
+    def __contains__(self, name: str) -> bool:
+        return any(key[0] == name for key in self._bufs)

@@ -115,6 +115,23 @@ def check_consistent_features(X: np.ndarray, n_features: int, *, name: str = "X"
         )
 
 
+def check_dtype(dtype) -> np.dtype:
+    """Validate a compute dtype for the NN substrate (float64 or float32).
+
+    ``float64`` is the exact default; ``float32`` is the fast path whose
+    results are tolerance-bounded rather than bit-identical.
+    """
+    try:
+        dt = np.dtype(dtype)
+    except TypeError as exc:
+        raise ValidationError(f"invalid compute dtype {dtype!r}: {exc}") from exc
+    if dt not in (np.dtype(np.float64), np.dtype(np.float32)):
+        raise ValidationError(
+            f"compute dtype must be float64 or float32, got {dt.name}"
+        )
+    return dt
+
+
 def check_random_state(seed) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
