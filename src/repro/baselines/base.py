@@ -13,13 +13,21 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.estimator import Estimator
 from repro.ml.preprocessing import StandardScaler
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_array, check_X_y
 
 
-class DAMethod:
-    """Abstract base for domain-adaptation methods."""
+class DAMethod(Estimator):
+    """Abstract base for domain-adaptation methods.
+
+    Every method implements the :class:`~repro.core.estimator.Estimator`
+    protocol so a fitted baseline round-trips through the artifact store
+    exactly like the paper's own pipeline.
+    """
+
+    _param_exclude = ("model_factory",)
 
     #: whether the method trains the downstream model on target samples
     #: (True for everything except FS / FS+GAN, per §VI-A)

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import DAMethod, fit_scaler
+from repro.core.estimator import register_estimator
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_is_fitted
 
@@ -58,8 +59,12 @@ def coral_transform(
     return X_source @ whiten @ recolor
 
 
+@register_estimator("coral")
 class CORAL(DAMethod):
     """CORAL domain adaptation wrapped as a :class:`DAMethod`."""
+
+    _fitted_attr = "model_"
+    _state_estimators = ("scaler_", "model_")
 
     def __init__(self, model_factory, *, shrinkage: float = 0.5) -> None:
         if not callable(model_factory):

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import DAMethod, fit_scaler
+from repro.core.estimator import Estimator, param_to_jsonable, register_estimator
 from repro.nn.layers import Dense, ReLU
 from repro.nn.losses import softmax
 from repro.nn.network import Sequential
@@ -28,8 +29,12 @@ from repro.utils.errors import ValidationError
 from repro.utils.validation import check_is_fitted, check_random_state
 
 
-class _EpisodicEmbedder:
+@register_estimator("episodic_embedder")
+class _EpisodicEmbedder(Estimator):
     """Embedding trunk trained with prototypical episodes on source data."""
+
+    _fitted_attr = "trunk_"
+    _state_networks = ("trunk_",)
 
     def __init__(
         self,
@@ -52,6 +57,23 @@ class _EpisodicEmbedder:
         self.lr = lr
         self.random_state = random_state
         self.trunk_: Sequential | None = None
+
+    def _extra_meta(self) -> dict:
+        return {"n_features": int(self.trunk_.layers[0].params["W"].shape[0])}
+
+    def _prepare_load(self, meta: dict, state: dict) -> None:
+        # topology is a pure function of (n_features, hyperparams); weights
+        # are overwritten in place right after
+        d = int(meta["n_features"])
+        build_rng = np.random.default_rng(0)
+        seed = lambda: int(build_rng.integers(0, 2**31 - 1))  # noqa: E731
+        self.trunk_ = Sequential(
+            [
+                Dense(d, self.hidden_size, random_state=seed()),
+                ReLU(),
+                Dense(self.hidden_size, self.embed_dim, random_state=seed()),
+            ]
+        )
 
     def fit(self, X: np.ndarray, y_codes: np.ndarray, n_classes: int) -> "_EpisodicEmbedder":
         rng = check_random_state(self.random_state)
@@ -128,6 +150,7 @@ class _EpisodicEmbedder:
         return self.trunk_.forward(X, training=False).copy()
 
 
+@register_estimator("protonet")
 class ProtoNet(DAMethod):
     """Prototypical networks with target-updated prototypes.
 
@@ -136,6 +159,19 @@ class ProtoNet(DAMethod):
     """
 
     model_agnostic = False
+    _fitted_attr = "prototypes_"
+    _state_arrays = ("prototypes_", "classes_")
+    _state_estimators = ("scaler_", "embedder")
+
+    def get_params(self) -> dict:
+        # constructor args are forwarded into the embedder, not stored
+        return {
+            "hidden_size": self.embedder.hidden_size,
+            "embed_dim": self.embedder.embed_dim,
+            "episodes": self.embedder.episodes,
+            "target_blend": self.target_blend,
+            "random_state": param_to_jsonable(self.embedder.random_state),
+        }
 
     def __init__(
         self,
@@ -189,10 +225,24 @@ class ProtoNet(DAMethod):
         return self.classes_[np.argmin(d2, axis=1)]
 
 
+@register_estimator("matchnet")
 class MatchNet(DAMethod):
     """Matching networks: cosine attention over the target support set."""
 
     model_agnostic = False
+    _fitted_attr = "support_emb_"
+    _state_arrays = ("support_emb_", "support_labels_", "classes_")
+    _state_estimators = ("scaler_", "embedder")
+
+    def get_params(self) -> dict:
+        # constructor args are forwarded into the embedder, not stored
+        return {
+            "hidden_size": self.embedder.hidden_size,
+            "embed_dim": self.embedder.embed_dim,
+            "episodes": self.embedder.episodes,
+            "temperature": self.temperature,
+            "random_state": param_to_jsonable(self.embedder.random_state),
+        }
 
     def __init__(
         self,

@@ -19,6 +19,7 @@ import numpy as np
 from scipy import stats
 
 from repro.baselines.base import DAMethod, fit_scaler
+from repro.core.estimator import register_estimator
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_is_fitted
 
@@ -34,8 +35,13 @@ def _mean_invariance_p(x_source: np.ndarray, x_target: np.ndarray) -> float:
     return float(p) if np.isfinite(p) else 1.0
 
 
+@register_estimator("icd")
 class ICD(DAMethod):
     """Marginal-invariance feature screening + invariant-feature training."""
+
+    _fitted_attr = "model_"
+    _state_arrays = ("invariant_indices_", "variant_indices_")
+    _state_estimators = ("scaler_", "model_")
 
     def __init__(
         self,

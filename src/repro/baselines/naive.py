@@ -5,11 +5,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import DAMethod, fit_scaler
+from repro.core.estimator import register_estimator
 from repro.ml.mlp import MLPClassifier
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_is_fitted
 
 
+@register_estimator("srconly")
 class SrcOnly(DAMethod):
     """Train only on source data; no adaptation.
 
@@ -18,6 +20,8 @@ class SrcOnly(DAMethod):
     """
 
     uses_target_in_training = False
+    _fitted_attr = "model_"
+    _state_estimators = ("scaler_", "model_")
 
     def __init__(self, model_factory) -> None:
         if not callable(model_factory):
@@ -42,8 +46,12 @@ class SrcOnly(DAMethod):
         return self.model_.predict(self.scaler_.transform(X))
 
 
+@register_estimator("taronly")
 class TarOnly(DAMethod):
     """Train only on the few target samples."""
+
+    _fitted_attr = "model_"
+    _state_estimators = ("scaler_", "model_")
 
     def __init__(self, model_factory) -> None:
         if not callable(model_factory):
@@ -67,6 +75,7 @@ class TarOnly(DAMethod):
         return self.model_.predict(self.scaler_.transform(X))
 
 
+@register_estimator("s&t")
 class SourceAndTarget(DAMethod):
     """S&T: pool source and target samples, up-weighting the target ones.
 
@@ -74,6 +83,9 @@ class SourceAndTarget(DAMethod):
     relative to the source split (0.5 → target counts half as much as all of
     source combined — a strong per-sample boost in the few-shot regime).
     """
+
+    _fitted_attr = "model_"
+    _state_estimators = ("scaler_", "model_")
 
     def __init__(self, model_factory, *, target_weight_ratio: float = 0.5) -> None:
         if not callable(model_factory):
@@ -103,6 +115,7 @@ class SourceAndTarget(DAMethod):
         return self.model_.predict(self.scaler_.transform(X))
 
 
+@register_estimator("fine-tune")
 class FineTune(DAMethod):
     """Pre-train an MLP on source, then fine-tune all parameters on target.
 
@@ -111,6 +124,8 @@ class FineTune(DAMethod):
     """
 
     model_agnostic = False
+    _fitted_attr = "model_"
+    _state_estimators = ("scaler_", "model_")
 
     def __init__(
         self,

@@ -13,14 +13,22 @@ import numpy as np
 
 from repro.baselines.base import DAMethod
 from repro.core.config import FSConfig, ReconstructionConfig
+from repro.core.estimator import param_to_jsonable, register_estimator
 from repro.core.pipeline import FSGANPipeline, FSModel
 from repro.utils.validation import check_is_fitted
 
 
+@register_estimator("fs")
 class FSMethod(DAMethod):
     """"FS (ours)": invariant-feature training on source data only."""
 
     uses_target_in_training = False
+    _fitted_attr = "inner"
+    _state_estimators = ("inner",)
+
+    def get_params(self) -> dict:
+        # constructor args live on the wrapped FSModel
+        return {"fs_config": param_to_jsonable(self.inner.fs_config)}
 
     def __init__(self, model_factory, *, fs_config: FSConfig | None = None) -> None:
         self.inner = FSModel(model_factory, fs_config=fs_config)
@@ -43,10 +51,24 @@ class FSMethod(DAMethod):
         return self.inner.n_variant_
 
 
+@register_estimator("fs+gan")
 class FSGANMethod(DAMethod):
     """"FS+GAN (ours)": full pipeline with GAN variant reconstruction."""
 
     uses_target_in_training = False
+    _fitted_attr = "inner"
+    _state_estimators = ("inner",)
+
+    def get_params(self) -> dict:
+        # constructor args live on the wrapped FSGANPipeline
+        return {
+            "fs_config": param_to_jsonable(self.inner.fs_config),
+            "reconstruction_config": param_to_jsonable(
+                self.inner.reconstruction_config
+            ),
+            "n_draws": self.n_draws,
+            "random_state": param_to_jsonable(self.inner.random_state),
+        }
 
     def __init__(
         self,

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import DAMethod, fit_scaler
+from repro.core.estimator import register_estimator
 from repro.ml.preprocessing import one_hot
 from repro.nn.layers import Dense, GradientReversal, ReLU
 from repro.nn.losses import (
@@ -26,10 +27,15 @@ from repro.utils.errors import ValidationError
 from repro.utils.validation import check_is_fitted, check_random_state
 
 
+@register_estimator("scl")
 class SCL(DAMethod):
     """Supervised-contrastive + adversarial domain adaptation."""
 
     model_agnostic = False
+    _fitted_attr = "trunk_"
+    _state_arrays = ("classes_",)
+    _state_networks = ("trunk_", "label_head_", "domain_head_")
+    _state_estimators = ("scaler_",)
 
     def __init__(
         self,
@@ -61,6 +67,35 @@ class SCL(DAMethod):
         self.label_head_: Sequential | None = None
         self.domain_head_: Sequential | None = None
         self.classes_: np.ndarray | None = None
+
+    def _extra_meta(self) -> dict:
+        return {"n_features": int(self.scaler_.mean_.shape[0])}
+
+    def _prepare_load(self, meta: dict, state: dict) -> None:
+        # topology is a pure function of (n_features, classes, hyperparams);
+        # weights are overwritten in place right after
+        d = int(meta["n_features"])
+        k = len(self.classes_)
+        build_rng = np.random.default_rng(0)
+        seed = lambda: int(build_rng.integers(0, 2**31 - 1))  # noqa: E731
+        self.trunk_ = Sequential(
+            [
+                Dense(d, self.hidden_size, random_state=seed()),
+                ReLU(),
+                Dense(self.hidden_size, self.embed_dim, random_state=seed()),
+            ]
+        )
+        self.label_head_ = Sequential(
+            [Dense(self.embed_dim, k, init="glorot_uniform", random_state=seed())]
+        )
+        self.domain_head_ = Sequential(
+            [
+                GradientReversal(self.lambda_),
+                Dense(self.embed_dim, self.hidden_size // 2, random_state=seed()),
+                ReLU(),
+                Dense(self.hidden_size // 2, 2, init="glorot_uniform", random_state=seed()),
+            ]
+        )
 
     def fit(self, X_source, y_source, X_target_few, y_target_few):
         X_source, y_source, X_target_few, y_target_few = self._validate(

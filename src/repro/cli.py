@@ -9,6 +9,8 @@ Usage::
     python -m repro runtime --dataset 5gipc --preset fast --trace -v
     python -m repro bench --dataset 5gc --preset smoke --n-jobs -1
     python -m repro bench --suite nn --dataset 5gc --preset smoke
+    python -m repro bench --suite serve --dataset 5gc --preset smoke
+    python -m repro serve --artifact pipe.npz --input batch.npy --output scores.npz
 
 Each subcommand runs one artifact of the paper's evaluation section and
 prints it in the paper's layout (see EXPERIMENTS.md for the mapping).
@@ -37,6 +39,7 @@ from repro.experiments import (
     format_ablation,
     format_bench,
     format_bench_nn,
+    format_bench_serve,
     format_multitarget,
     format_runtime,
     format_table1,
@@ -46,6 +49,7 @@ from repro.experiments import (
     run_ablation,
     run_bench,
     run_bench_nn,
+    run_bench_serve,
     run_multitarget,
     run_table1,
     summarize_improvement,
@@ -127,20 +131,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="perf benchmark: FS CI engine or the fused NN training engine",
     )
     add_common(p)
-    p.add_argument("--suite", choices=("fs", "nn"), default="fs",
+    p.add_argument("--suite", choices=("fs", "nn", "serve"), default="fs",
                    help="fs = batched CI engine vs reference FS loop; "
                    "nn = fused cGAN training/serving vs the frozen "
-                   "reference implementations")
+                   "reference implementations; serve = compiled inference "
+                   "plan vs the naive pipeline serve path")
     p.add_argument("--shots", type=int, default=10,
-                   help="few-shot target budget for FS discovery (fs suite)")
+                   help="few-shot target budget for FS discovery "
+                   "(fs/serve suites)")
     p.add_argument("--out", metavar="PATH", default=None,
                    help="benchmark record file (merged, seed-keyed; default "
-                   "BENCH_fs.json / BENCH_nn.json by suite)")
+                   "BENCH_fs.json / BENCH_nn.json / BENCH_serve.json by suite)")
     p.add_argument("--skip-gan", action="store_true",
                    help="fs suite: benchmark FS discovery only "
                    "(skip GAN + inference)")
     p.add_argument("--epochs", type=int, default=None,
                    help="nn suite: override the preset's GAN epoch budget")
+    p.add_argument("--draws", type=int, default=1,
+                   help="serve suite: Monte-Carlo draws per sample")
+
+    p = sub.add_parser(
+        "serve",
+        help="score a batch through a compiled plan loaded from an artifact",
+    )
+    add_common(p, dataset=False)
+    p.add_argument("--artifact", required=True, metavar="PATH",
+                   help="fsgan_pipeline artifact bundle (.npz)")
+    p.add_argument("--input", required=True, metavar="PATH",
+                   help="feature batch: .npy, .npz (array 'X') or .csv")
+    p.add_argument("--output", metavar="PATH", default=None,
+                   help="write proba + labels to .npz or .json")
+    p.add_argument("--n-draws", type=int, default=1,
+                   help="Monte-Carlo draws per sample")
     return parser
 
 
@@ -221,6 +243,17 @@ def _dispatch(args, preset) -> None:
                 out=out,
             )
             print(format_bench_nn(record))
+        elif args.suite == "serve":
+            out = args.out or "BENCH_serve.json"
+            record = run_bench_serve(
+                args.dataset,
+                preset=preset,
+                n_draws=args.draws,
+                shots=args.shots,
+                random_state=args.seed,
+                out=out,
+            )
+            print(format_bench_serve(record))
         else:
             out = args.out or "BENCH_fs.json"
             record = run_bench(
@@ -234,6 +267,24 @@ def _dispatch(args, preset) -> None:
             )
             print(format_bench(record))
         print(f"\nrecord merged into {out}")
+    elif args.command == "serve":
+        from repro.serve import run_serve
+
+        summary = run_serve(
+            args.artifact,
+            args.input,
+            output_path=args.output,
+            n_draws=args.n_draws,
+        )
+        print(
+            f"scored {summary['n_samples']} rows x {summary['n_features']} "
+            f"features through {summary['kind']} artifact "
+            f"(schema v{summary['schema_version']}, n_draws={summary['n_draws']}): "
+            f"{1e3 * summary['seconds']:.2f} ms "
+            f"({summary['rows_per_second']:.0f} rows/s)"
+        )
+        if "output" in summary:
+            print(f"scores written to {summary['output']}")
 
 
 def main(argv=None) -> int:

@@ -13,13 +13,15 @@ import numpy as np
 
 from repro.causal.fnode import FNodeDiscovery, FNodeResult
 from repro.core.config import FSConfig
+from repro.core.estimator import Estimator, decode_json, encode_json, register_estimator
 from repro.obs.export import get_event_log
 from repro.obs.trace import get_tracer
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_array, check_is_fitted, mark_validated
 
 
-class FeatureSeparator:
+@register_estimator("feature_separator")
+class FeatureSeparator(Estimator):
     """Separates features into domain-variant and domain-invariant sets.
 
     Parameters
@@ -34,10 +36,38 @@ class FeatureSeparator:
     >>> X_inv, X_var = sep.split(X_source)         # doctest: +SKIP
     """
 
+    _fitted_attr = "result_"
+
     def __init__(self, config: FSConfig | None = None) -> None:
         self.config = config or FSConfig()
         self.result_: FNodeResult | None = None
         self.n_features_: int | None = None
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        check_is_fitted(self, "result_")
+        meta = {
+            "n_features_": int(self.n_features_),
+            "parent_sets": [list(p) for p in self.result_.parent_sets],
+            "n_tests": int(self.result_.n_tests),
+        }
+        return {
+            "__meta__": encode_json(meta),
+            "variant_indices": np.asarray(self.result_.variant_indices).copy(),
+            "invariant_indices": np.asarray(self.result_.invariant_indices).copy(),
+            "p_values": np.asarray(self.result_.p_values).copy(),
+        }
+
+    def load_state_dict(self, state) -> "FeatureSeparator":
+        meta = decode_json(state["__meta__"])
+        self.n_features_ = int(meta["n_features_"])
+        self.result_ = FNodeResult(
+            variant_indices=np.array(state["variant_indices"]),
+            invariant_indices=np.array(state["invariant_indices"]),
+            p_values=np.array(state["p_values"]),
+            parent_sets=[tuple(p) for p in meta.get("parent_sets", [])],
+            n_tests=int(meta.get("n_tests", 0)),
+        )
+        return self
 
     @classmethod
     def from_result(

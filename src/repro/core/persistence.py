@@ -1,39 +1,50 @@
-"""Adapter persistence: save/load the FS + GAN artifacts of a pipeline.
+"""Deprecated adapter persistence shims over :mod:`repro.core.artifacts`.
 
-In the paper's deployment model the network-management models live wherever
-they were deployed and never change; what evolves — and therefore what needs
-shipping between systems — is the lightweight *adapter*: the scaler
-statistics, the variant/invariant split, and the trained generator.  This
-module serializes exactly that to a single ``.npz`` file.
+``save_adapter`` / ``load_adapter`` predate the versioned artifact store and
+are kept as thin wrappers so existing call sites keep working: saving now
+writes a schema-v2 :class:`~repro.core.artifacts.AdapterBundle` artifact, and
+loading reads both v2 bundles and the original v1 flat layout.
 
-``load_adapter`` restores the adapter into a pipeline whose downstream model
-was (re)created by the caller — typically the already-deployed model object.
+Unlike the historical ``load_adapter`` — which trusted the caller to hand it
+a pipeline whose configuration matched the file — loading now validates the
+saved adapter against the receiving pipeline (feature counts, index ranges,
+downstream-model width) and raises
+:class:`~repro.utils.errors.ArtifactError` on any mismatch.
+
+New code should use :func:`repro.core.artifacts.save_artifact` /
+:func:`repro.core.artifacts.load_artifact` directly.
 """
 
 from __future__ import annotations
 
-import json
+import warnings
 from pathlib import Path
 
 import numpy as np
 
-from repro.core.config import FSConfig, ReconstructionConfig
-from repro.core.feature_separation import FeatureSeparator
+from repro.core.artifacts import AdapterBundle, load_artifact, save_artifact
 from repro.core.pipeline import FSGANPipeline
-from repro.core.reconstruction import VariantReconstructor
 from repro.gan.cgan import ConditionalGAN
-from repro.ml.preprocessing import MinMaxScaler
-from repro.utils.errors import ValidationError
+from repro.utils.errors import ArtifactError, ValidationError
 
-_FORMAT_VERSION = 1
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def save_adapter(pipeline: FSGANPipeline, path) -> Path:
     """Serialize a fitted pipeline's adapter (scaler + FS + generator).
 
-    Only the GAN strategies are supported (the deployment path); the VAE/AE
-    ablation arms are experiment-only.
+    .. deprecated::
+        Thin wrapper over :func:`repro.core.artifacts.save_artifact` with an
+        :class:`AdapterBundle`; only the GAN strategies are supported (the
+        deployment path), matching the historical contract.
     """
+    _deprecated("save_adapter", "repro.core.artifacts.save_artifact")
     if pipeline.separator_ is None or pipeline.reconstructor_ is None:
         raise ValidationError("save_adapter requires a fitted pipeline")
     model = pipeline.reconstructor_.model_
@@ -42,113 +53,80 @@ def save_adapter(pipeline: FSGANPipeline, path) -> Path:
             "only GAN-based adapters are serializable "
             f"(got {type(model).__name__})"
         )
-    path = Path(path)
-    meta = {
-        "format_version": _FORMAT_VERSION,
-        "fs_config": {
-            "alpha": pipeline.fs_config.alpha,
-            "max_parents": pipeline.fs_config.max_parents,
-            "max_cond_size": pipeline.fs_config.max_cond_size,
-            "min_correlation": pipeline.fs_config.min_correlation,
-        },
-        "reconstruction": {
-            "strategy": pipeline.reconstruction_config.strategy,
-            "noise_dim": model.noise_dim,
-            "hidden_size": model.hidden_size,
-            "conditional": model.conditional,
-            "n_classes": model.n_classes_,
-            "n_invariant": model.n_invariant_,
-            "n_variant": model.n_variant_,
-        },
-        "n_features": pipeline.separator_.n_features_,
-    }
-    arrays = {
-        "meta_json": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-        "scaler_min": pipeline.scaler_.data_min_,
-        "scaler_max": pipeline.scaler_.data_max_,
-        "variant_indices": pipeline.separator_.variant_indices_,
-        "invariant_indices": pipeline.separator_.invariant_indices_,
-        "p_values": pipeline.separator_.result_.p_values,
-    }
-    for key, value in model.generator_.state_dict().items():
-        arrays[f"generator.{key}"] = value
-    for key, value in model.discriminator_.state_dict().items():
-        arrays[f"discriminator.{key}"] = value
-    np.savez_compressed(path, **arrays)
-    return path
+    return save_artifact(AdapterBundle.from_pipeline(pipeline), Path(path))
+
+
+def _validate_adapter_compat(bundle: AdapterBundle, pipeline: FSGANPipeline) -> None:
+    """Reject adapters whose geometry contradicts the receiving pipeline."""
+    separator = bundle.separator_
+    n_features = int(separator.n_features_)
+    data_min = np.asarray(bundle.scaler_.data_min_)
+    if data_min.shape != (n_features,):
+        raise ArtifactError(
+            f"adapter scaler covers {data_min.shape[0]} features but its "
+            f"feature split covers {n_features}"
+        )
+    variant = np.asarray(separator.variant_indices_)
+    invariant = np.asarray(separator.invariant_indices_)
+    combined = np.concatenate([variant, invariant])
+    if combined.size != n_features or not np.array_equal(
+        np.sort(combined), np.arange(n_features)
+    ):
+        raise ArtifactError(
+            "adapter variant/invariant indices do not form a partition of "
+            f"range({n_features})"
+        )
+    model = bundle.reconstructor_.model_
+    n_inv = getattr(model, "n_invariant_", None)
+    n_var = getattr(model, "n_variant_", None)
+    if n_inv is not None and int(n_inv) != invariant.size:
+        raise ArtifactError(
+            f"adapter generator expects {int(n_inv)} invariant features but "
+            f"the saved split has {invariant.size}"
+        )
+    if n_var is not None and int(n_var) != variant.size:
+        raise ArtifactError(
+            f"adapter generator produces {int(n_var)} variant features but "
+            f"the saved split has {variant.size}"
+        )
+    downstream = pipeline.model_
+    model_width = getattr(downstream, "n_features_", None)
+    if model_width is not None and int(model_width) != n_features:
+        raise ArtifactError(
+            f"adapter was trained on {n_features} features but the "
+            f"pipeline's downstream model expects {int(model_width)}"
+        )
+    old_sep = pipeline.separator_
+    if old_sep is not None and int(old_sep.n_features_) != n_features:
+        raise ArtifactError(
+            f"adapter was trained on {n_features} features but the pipeline "
+            f"currently holds a {int(old_sep.n_features_)}-feature split"
+        )
 
 
 def load_adapter(path, pipeline: FSGANPipeline) -> FSGANPipeline:
     """Restore a saved adapter into ``pipeline`` (downstream model untouched).
 
-    The pipeline must already hold its downstream model (either fitted or
-    attached by the caller); this call replaces its scaler, separator and
-    reconstructor with the saved artifacts.
+    .. deprecated::
+        Thin wrapper over :func:`repro.core.artifacts.load_artifact`.  The
+        saved adapter is validated against the receiving pipeline's geometry
+        before anything is swapped in; mismatches raise
+        :class:`~repro.utils.errors.ArtifactError`.
     """
+    _deprecated("load_adapter", "repro.core.artifacts.load_artifact")
     path = Path(path)
     if not path.exists():
         raise ValidationError(f"no adapter file at {path}")
-    data = np.load(path, allow_pickle=False)
-    meta = json.loads(bytes(data["meta_json"].tobytes()).decode())
-    if meta["format_version"] != _FORMAT_VERSION:
-        raise ValidationError(
-            f"unsupported adapter format version {meta['format_version']}"
+    loaded = load_artifact(path)
+    bundle = loaded.estimator
+    if not isinstance(bundle, AdapterBundle):
+        raise ArtifactError(
+            f"{path} holds a {loaded.kind or type(bundle).__name__!r} "
+            "artifact, not an adapter bundle"
         )
-
-    scaler = MinMaxScaler()
-    scaler.data_min_ = data["scaler_min"]
-    scaler.data_max_ = data["scaler_max"]
-    span = scaler.data_max_ - scaler.data_min_
-    usable = span > 2.0 / np.finfo(np.float64).max
-    scaler._scale = np.where(usable, 2.0 / np.where(usable, span, 1.0), 0.0)
-
-    fs_config = FSConfig(**meta["fs_config"])
-    separator = FeatureSeparator(fs_config)
-    from repro.causal.fnode import FNodeResult
-
-    separator.n_features_ = int(meta["n_features"])
-    separator.result_ = FNodeResult(
-        variant_indices=data["variant_indices"],
-        invariant_indices=data["invariant_indices"],
-        p_values=data["p_values"],
-    )
-
-    rec_meta = meta["reconstruction"]
-    gan = ConditionalGAN(
-        noise_dim=int(rec_meta["noise_dim"]),
-        hidden_size=int(rec_meta["hidden_size"]),
-        conditional=bool(rec_meta["conditional"]),
-        epochs=1,
-        random_state=0,
-    )
-    gan.n_invariant_ = int(rec_meta["n_invariant"])
-    gan.n_variant_ = int(rec_meta["n_variant"])
-    gan.n_classes_ = int(rec_meta["n_classes"]) if rec_meta["n_classes"] else 0
-    gan._rng = np.random.default_rng(0)
-    rng = np.random.default_rng(0)
-    gan.generator_ = gan._build_generator(rng)
-    gan.discriminator_ = gan._build_discriminator(rng)
-    gan.generator_.load_state_dict(
-        {k.removeprefix("generator."): data[k] for k in data.files
-         if k.startswith("generator.")}
-    )
-    gan.discriminator_.load_state_dict(
-        {k.removeprefix("discriminator."): data[k] for k in data.files
-         if k.startswith("discriminator.")}
-    )
-
-    reconstructor = VariantReconstructor(
-        ReconstructionConfig(
-            strategy=meta["reconstruction"]["strategy"],
-            noise_dim=int(rec_meta["noise_dim"]),
-            hidden_size=int(rec_meta["hidden_size"]),
-        )
-    )
-    reconstructor.model_ = gan
-    reconstructor.n_classes_ = gan.n_classes_ or None
-
-    pipeline.scaler_ = scaler
-    pipeline.separator_ = separator
-    pipeline.reconstructor_ = reconstructor
-    pipeline.fs_config = fs_config
+    _validate_adapter_compat(bundle, pipeline)
+    pipeline.scaler_ = bundle.scaler_
+    pipeline.separator_ = bundle.separator_
+    pipeline.reconstructor_ = bundle.reconstructor_
+    pipeline.fs_config = bundle.fs_config
     return pipeline

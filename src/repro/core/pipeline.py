@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import FSConfig, ReconstructionConfig
+from repro.core.estimator import Estimator, register_estimator
 from repro.core.feature_separation import FeatureSeparator
 from repro.core.reconstruction import VariantReconstructor
 from repro.ml.preprocessing import MinMaxScaler
@@ -30,7 +31,8 @@ from repro.utils.errors import ValidationError
 from repro.utils.validation import check_array, check_is_fitted, check_X_y
 
 
-class FSModel:
+@register_estimator("fs_model")
+class FSModel(Estimator):
     """FS-only domain adaptation: train on source invariant features.
 
     Parameters
@@ -40,6 +42,10 @@ class FSModel:
     fs_config:
         Feature-separation settings.
     """
+
+    _param_exclude = ("model_factory",)
+    _fitted_attr = "model_"
+    _state_estimators = ("scaler_", "separator_", "model_")
 
     def __init__(self, model_factory, *, fs_config: FSConfig | None = None) -> None:
         if not callable(model_factory):
@@ -83,7 +89,8 @@ class FSModel:
         return self.separator_.n_variant_
 
 
-class FSGANPipeline:
+@register_estimator("fsgan_pipeline")
+class FSGANPipeline(Estimator):
     """The full FS+GAN method (Fig. 1): separation, reconstruction, inference.
 
     Training (source only, besides the FS step):
@@ -98,6 +105,10 @@ class FSGANPipeline:
     from the invariant block, merge in the original column order, and feed
     the source-like sample to the frozen downstream model.
     """
+
+    _param_exclude = ("model_factory", "hooks")
+    _fitted_attr = "model_"
+    _state_estimators = ("scaler_", "separator_", "reconstructor_", "model_")
 
     def __init__(
         self,
@@ -234,3 +245,48 @@ class FSGANPipeline:
     def n_variant_(self) -> int:
         check_is_fitted(self, "separator_")
         return self.separator_.n_variant_
+
+    def _post_load(self, meta: dict) -> None:
+        # a restored pipeline is a serving object: the scaled-source refit
+        # cache never crosses the disk boundary, so refit_adapter raises the
+        # same clear error as after release_training_cache()
+        self._cached_source = None
+        self._cache_released = True
+
+    def export_plan(self) -> dict:
+        """JSON description of the staged serve path (for the manifest)."""
+        check_is_fitted(self, "model_")
+        return {
+            "kind": self._estimator_kind,
+            "stages": [
+                {
+                    "stage": "scale",
+                    "op": "minmax",
+                    "n_features": int(self.separator_.n_features_),
+                },
+                {
+                    "stage": "split",
+                    "n_invariant": int(len(self.separator_.invariant_indices_)),
+                    "n_variant": int(self.separator_.n_variant_),
+                },
+                {
+                    "stage": "reconstruct",
+                    "strategy": self.reconstruction_config.strategy,
+                    "model": type(self.reconstructor_.model_).__name__,
+                },
+                {"stage": "merge"},
+                {"stage": "predict", "model": type(self.model_).__name__},
+            ],
+        }
+
+    def compile(self, *, n_draws: int = 1):
+        """Compile the serve path into an allocation-free batch scorer.
+
+        Returns a :class:`repro.serve.plan.InferencePlan` whose float64
+        ``predict_proba`` is bit-identical to :meth:`predict_proba` (the plan
+        replays the exact same ufunc sequence into preallocated buffers and
+        clones the reconstruction RNG state at compile time).
+        """
+        from repro.serve.plan import InferencePlan  # lazy: serve imports core
+
+        return InferencePlan(self, n_draws=n_draws)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import ReconstructionConfig
+from repro.core.estimator import Estimator, register_estimator
 from repro.gan.autoencoder import VanillaAutoencoder
 from repro.gan.cgan import ConditionalGAN
 from repro.gan.vae import ConditionalVAE
@@ -20,7 +21,8 @@ from repro.utils.errors import ValidationError
 from repro.utils.validation import check_array, check_is_fitted
 
 
-class VariantReconstructor:
+@register_estimator("variant_reconstructor")
+class VariantReconstructor(Estimator):
     """Reconstructs domain-variant features from domain-invariant features.
 
     The underlying model is trained exclusively on **source** data; at
@@ -28,6 +30,10 @@ class VariantReconstructor:
     variant values (Eq. 10), which is what removes the drift from the
     variant block without discarding its information content.
     """
+
+    _fitted_attr = "model_"
+    _state_scalars = ("n_classes_",)
+    _state_estimators = ("model_",)
 
     def __init__(
         self,
@@ -102,10 +108,11 @@ class VariantReconstructor:
         return self.model_.generate(X_inv, n_draws=n_draws, random_state=random_state)
 
 
-class _IdentityReconstructor:
+@register_estimator("identity_reconstructor")
+class _IdentityReconstructor(Estimator):
     """Placeholder used when the variant set is empty."""
 
-    def __init__(self, n_variant: int) -> None:
+    def __init__(self, n_variant: int = 0) -> None:
         self.n_variant = n_variant
 
     def generate(self, X_inv, *, n_draws: int = 1, random_state=None) -> np.ndarray:

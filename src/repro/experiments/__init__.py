@@ -3,6 +3,7 @@ table and figure of the paper's evaluation section (see DESIGN.md §4)."""
 
 from repro.experiments.bench import reference_discover, run_bench, write_bench_record
 from repro.experiments.bench_nn import run_bench_nn
+from repro.experiments.bench_serve import bench_serve_record, run_bench_serve
 from repro.experiments.models import MODEL_NAMES, model_factories
 from repro.experiments.multitarget import run_multitarget
 from repro.experiments.presets import PRESETS, ExperimentPreset, get_preset
@@ -10,6 +11,7 @@ from repro.experiments.reporting import (
     format_ablation,
     format_bench,
     format_bench_nn,
+    format_bench_serve,
     format_multitarget,
     format_runtime,
     format_table1,
@@ -35,6 +37,7 @@ __all__ = [
     "format_ablation",
     "format_bench",
     "format_bench_nn",
+    "format_bench_serve",
     "format_multitarget",
     "format_runtime",
     "format_table1",
@@ -46,7 +49,9 @@ __all__ = [
     "reference_discover",
     "run_ablation",
     "run_bench",
+    "bench_serve_record",
     "run_bench_nn",
+    "run_bench_serve",
     "run_multitarget",
     "run_table1",
     "selection_variance",

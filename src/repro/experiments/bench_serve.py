@@ -1,0 +1,135 @@
+"""Serving benchmark behind ``repro bench --suite serve``.
+
+Measures the compiled :class:`~repro.serve.plan.InferencePlan` against the
+naive serve path (``FSGANPipeline.predict_proba``, which allocates fresh
+stage arrays per batch) on the same fitted pipeline, same batch, same RNG
+state.  The record also carries the equivalence evidence: the plan is
+compiled from the pipeline's RNG state *before* either side scores, so its
+float64 probabilities must match the pipeline's bit for bit
+(``max_abs_diff == 0.0``).
+
+Records are merged into a seed-keyed JSON file (``BENCH_serve.json`` by
+default) with the same layout as the FS / NN benchmark files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ReconstructionConfig
+from repro.core.pipeline import FSGANPipeline
+from repro.experiments.bench import bench_key, write_bench_record
+from repro.experiments.models import model_factories
+from repro.experiments.presets import ExperimentPreset, get_preset
+from repro.experiments.runner import make_benchmark
+from repro.obs.logging import get_logger
+from repro.obs.trace import Stopwatch, get_tracer
+
+#: schema tag stamped into every benchmark file this module writes
+BENCH_SERVE_SCHEMA = "repro.bench.serve/v1"
+
+
+def bench_serve_record(
+    pipeline: FSGANPipeline,
+    X_batch: np.ndarray,
+    *,
+    rounds: int = 3,
+    n_draws: int = 1,
+) -> dict:
+    """Time compiled-plan vs naive serving on a fitted pipeline.
+
+    The parity check comes first, from a single aligned RNG state; the
+    timing loop then takes the best of ``rounds`` runs per side (RNG
+    advancement does not affect wall clock).
+    """
+    rounds = max(1, rounds)
+    plan = pipeline.compile(n_draws=n_draws)
+    # parity: plan cloned the RNG at state S; the pipeline consumes from S too
+    expected = pipeline.predict_proba(X_batch, n_draws=n_draws)
+    got = plan.predict_proba(X_batch)
+    max_abs_diff = float(np.max(np.abs(expected - got))) if expected.size else 0.0
+
+    naive_seconds = plan_seconds = float("inf")
+    with get_tracer().span("bench_serve.time", rounds=rounds, n_draws=n_draws):
+        for _ in range(rounds):
+            with Stopwatch() as sw:
+                pipeline.predict_proba(X_batch, n_draws=n_draws)
+            naive_seconds = min(naive_seconds, sw.seconds)
+            with Stopwatch() as sw:
+                plan.predict_proba(X_batch)
+            plan_seconds = min(plan_seconds, sw.seconds)
+
+    n = int(X_batch.shape[0])
+    return {
+        "n_samples": n,
+        "n_features": int(X_batch.shape[1]),
+        "n_draws": int(n_draws),
+        "rounds": rounds,
+        "before": {
+            "serve_seconds": naive_seconds,
+            "rows_per_sec": n / max(naive_seconds, 1e-9),
+        },
+        "after": {
+            "serve_seconds": plan_seconds,
+            "rows_per_sec": n / max(plan_seconds, 1e-9),
+        },
+        "speedup": naive_seconds / max(plan_seconds, 1e-9),
+        "max_abs_diff": max_abs_diff,
+        "equivalent": max_abs_diff == 0.0,
+    }
+
+
+def run_bench_serve(
+    dataset: str = "5gc",
+    *,
+    preset: str | ExperimentPreset | None = None,
+    model: str = "MLP",
+    rounds: int = 3,
+    n_draws: int = 1,
+    shots: int = 10,
+    random_state: int = 0,
+    out: str | None = None,
+) -> dict:
+    """Fit the FS+GAN pipeline on the preset workload and benchmark serving.
+
+    Returns the record; when ``out`` is given, also merges it into that
+    benchmark file under its :func:`repro.experiments.bench.bench_key`.
+    """
+    preset = preset if isinstance(preset, ExperimentPreset) else get_preset(preset)
+    logger = get_logger("repro.experiments.bench_serve")
+    bench = make_benchmark(dataset, preset, random_state=random_state)
+    Xt_few, _yt_few, Xt_test, _yt_test = bench.few_shot_split(
+        shots, random_state=random_state
+    )
+    factory = model_factories(preset, random_state=random_state)[model]
+    pipeline = FSGANPipeline(
+        factory,
+        reconstruction_config=ReconstructionConfig(
+            epochs=preset.gan_epochs,
+            noise_dim=preset.gan_noise_dim,
+            hidden_size=preset.gan_hidden,
+        ),
+        random_state=random_state,
+    )
+    with get_tracer().span("bench_serve.fit", dataset=dataset, preset=preset.name):
+        pipeline.fit(bench.X_source, bench.y_source, Xt_few)
+
+    record = bench_serve_record(
+        pipeline, Xt_test, rounds=rounds, n_draws=n_draws
+    )
+    record.update(
+        {
+            "dataset": dataset,
+            "preset": preset.name,
+            "seed": random_state,
+            "model": model,
+            "shots": shots,
+        }
+    )
+    if out:
+        write_bench_record(record, out, schema=BENCH_SERVE_SCHEMA)
+        logger.info("benchmark record written to %s", out)
+    return record
+
+
+__all__ = ["BENCH_SERVE_SCHEMA", "bench_key", "bench_serve_record", "run_bench_serve"]

@@ -221,3 +221,25 @@ def summarize_improvement(results: list[CellResult]) -> dict:
             (gain_ours - gain_other) / gain_other if gain_other > 0 else float("nan")
         ),
     }
+
+
+def format_bench_serve(record: dict) -> str:
+    """Render the ``repro bench --suite serve`` compiled-plan summary."""
+    before, after = record["before"], record["after"]
+    lines = [
+        f"Serve benchmark ({record['dataset']}, preset={record['preset']}, "
+        f"seed={record['seed']}, model={record['model']}, "
+        f"{record['n_samples']}x{record['n_features']} batch, "
+        f"n_draws={record['n_draws']})",
+        f"  naive pipeline:  {before['serve_seconds'] * 1000:8.2f} ms "
+        f"({before['rows_per_sec']:.0f} rows/s)",
+        f"  compiled plan:   {after['serve_seconds'] * 1000:8.2f} ms "
+        f"({after['rows_per_sec']:.0f} rows/s)",
+        f"  speedup:         {record['speedup']:8.2f}x "
+        + (
+            "(float64 bit-identical)"
+            if record["equivalent"]
+            else f"(max|diff| {record['max_abs_diff']:.2e} — RESULTS DIFFER)"
+        ),
+    ]
+    return "\n".join(lines)

@@ -13,6 +13,7 @@ import time
 
 import numpy as np
 
+from repro.core.estimator import Estimator, register_estimator
 from repro.nn.layers import BatchNorm1d, Dense, ReLU, Tanh
 from repro.nn.losses import MSELoss
 from repro.nn.network import Sequential, iterate_minibatches
@@ -29,12 +30,17 @@ from repro.utils.validation import (
 )
 
 
-class VanillaAutoencoder:
+@register_estimator("vanilla_ae")
+class VanillaAutoencoder(Estimator):
     """Deterministic ``X_inv → X_var`` reconstruction network.
 
     ``dtype`` selects the compute dtype: ``"float64"`` (default, exact) or
     ``"float32"`` (fast path, tolerance-bounded).
     """
+
+    _fitted_attr = "network_"
+    _state_scalars = ("n_invariant_", "n_variant_", "history_")
+    _state_networks = ("network_",)
 
     def __init__(
         self,
@@ -61,6 +67,26 @@ class VanillaAutoencoder:
         self.n_invariant_: int | None = None
         self.n_variant_: int | None = None
         self.history_: list[float] = []
+
+    def _prepare_load(self, meta: dict, state: dict) -> None:
+        self._dtype = check_dtype(self.dtype)
+        h = self.hidden_size
+        build_rng = np.random.default_rng(0)
+        seed = lambda: int(build_rng.integers(0, 2**31 - 1))  # noqa: E731
+        self.network_ = Sequential(
+            [
+                Dense(self.n_invariant_, h, random_state=seed()),
+                BatchNorm1d(h),
+                ReLU(),
+                Dense(h, h, random_state=seed()),
+                BatchNorm1d(h),
+                ReLU(),
+                Dense(h, self.n_variant_, init="glorot_uniform", random_state=seed()),
+                Tanh(),
+            ]
+        )
+        if self._dtype != np.float64:
+            self.network_.to(self._dtype)
 
     def fit(self, X_inv, X_var, y_onehot=None, *, hooks=None) -> "VanillaAutoencoder":
         """Train on source pairs; ``y_onehot`` accepted for API parity (unused).

@@ -22,6 +22,7 @@ import time
 
 import numpy as np
 
+from repro.core.estimator import Estimator, register_estimator
 from repro.nn.fused import FusedCGANTrainer
 from repro.nn.layers import BatchNorm1d, Dense, Dropout, LeakyReLU, ReLU, Sigmoid, Tanh
 from repro.nn.network import Sequential, iterate_minibatches
@@ -37,7 +38,8 @@ from repro.utils.validation import (
 )
 
 
-class ConditionalGAN:
+@register_estimator("cgan")
+class ConditionalGAN(Estimator):
     """CTGAN-style conditional GAN trained on source data only.
 
     Parameters
@@ -62,6 +64,10 @@ class ConditionalGAN:
         bit-identical).  Noise and dropout masks are always drawn at float64
         so both modes consume the RNG stream identically.
     """
+
+    _fitted_attr = "generator_"
+    _state_scalars = ("n_invariant_", "n_variant_", "n_classes_", "history_")
+    _state_networks = ("generator_", "discriminator_")
 
     def __init__(
         self,
@@ -102,6 +108,32 @@ class ConditionalGAN:
         self.n_variant_: int | None = None
         self.n_classes_: int | None = None
         self.history_: dict[str, list[float]] = {"d_loss": [], "g_loss": []}
+
+    # -- serialization ------------------------------------------------------
+    def _extra_meta(self) -> dict:
+        # the serve path draws MC noise from self._rng; persisting the PCG64
+        # state is what makes a reloaded adapter's first generate() call
+        # bit-identical to the live pipeline's
+        rng = getattr(self, "_rng", None)
+        if rng is not None:
+            return {"rng_state": rng.bit_generator.state}
+        return {}
+
+    def _prepare_load(self, meta: dict, state: dict) -> None:
+        self._dtype = check_dtype(self.dtype)
+        build_rng = np.random.default_rng(0)
+        self.generator_ = self._build_generator(build_rng)
+        self.discriminator_ = self._build_discriminator(build_rng)
+        if self._dtype != np.float64:
+            self.generator_.to(self._dtype)
+            self.discriminator_.to(self._dtype)
+        self._serve_ws = Workspace()
+        self._rng = np.random.default_rng(0)
+        rng_state = meta.get("rng_state")
+        if rng_state is not None and rng_state.get("bit_generator") == type(
+            self._rng.bit_generator
+        ).__name__:
+            self._rng.bit_generator.state = rng_state
 
     # -- construction -------------------------------------------------------
     def _build_generator(self, rng: np.random.Generator) -> Sequential:

@@ -13,6 +13,7 @@ import time
 
 import numpy as np
 
+from repro.core.estimator import Estimator, register_estimator
 from repro.nn.layers import BatchNorm1d, Dense, ReLU, Tanh
 from repro.nn.network import Sequential, iterate_minibatches
 from repro.nn.optimizers import Adam
@@ -28,7 +29,8 @@ from repro.utils.validation import (
 )
 
 
-class ConditionalVAE:
+@register_estimator("cvae")
+class ConditionalVAE(Estimator):
     """CVAE: ``q(z | X_inv, X_var)`` encoder, ``p(X_var | X_inv, z)`` decoder.
 
     Parameters
@@ -41,6 +43,10 @@ class ConditionalVAE:
         Compute dtype: ``"float64"`` (default, exact) or ``"float32"``
         (fast path, tolerance-bounded).  Noise is always drawn at float64.
     """
+
+    _fitted_attr = "decoder_"
+    _state_scalars = ("n_invariant_", "n_variant_", "history_")
+    _state_networks = ("encoder_", "mu_head_", "logvar_head_", "decoder_")
 
     def __init__(
         self,
@@ -78,6 +84,53 @@ class ConditionalVAE:
         self.n_invariant_: int | None = None
         self.n_variant_: int | None = None
         self.history_: list[float] = []
+
+    def _extra_meta(self) -> dict:
+        rng = getattr(self, "_rng", None)
+        if rng is not None:
+            return {"rng_state": rng.bit_generator.state}
+        return {}
+
+    def _prepare_load(self, meta: dict, state: dict) -> None:
+        self._dtype = check_dtype(self.dtype)
+        h = self.hidden_size
+        build_rng = np.random.default_rng(0)
+        seed = lambda: int(build_rng.integers(0, 2**31 - 1))  # noqa: E731
+        self.encoder_ = Sequential(
+            [
+                Dense(self.n_invariant_ + self.n_variant_, h, random_state=seed()),
+                ReLU(),
+                Dense(h, h, random_state=seed()),
+                ReLU(),
+            ]
+        )
+        self.mu_head_ = Dense(h, self.latent_dim, init="glorot_uniform", random_state=seed())
+        self.logvar_head_ = Dense(h, self.latent_dim, init="glorot_uniform",
+                                  random_state=seed())
+        self.decoder_ = Sequential(
+            [
+                Dense(self.n_invariant_ + self.latent_dim, h, random_state=seed()),
+                BatchNorm1d(h),
+                ReLU(),
+                Dense(h, h, random_state=seed()),
+                BatchNorm1d(h),
+                ReLU(),
+                Dense(h, self.n_variant_, init="glorot_uniform", random_state=seed()),
+                Tanh(),
+            ]
+        )
+        if self._dtype != np.float64:
+            self.encoder_.to(self._dtype)
+            self.mu_head_.to(self._dtype)
+            self.logvar_head_.to(self._dtype)
+            self.decoder_.to(self._dtype)
+        self._serve_ws = Workspace()
+        self._rng = np.random.default_rng(0)
+        rng_state = meta.get("rng_state")
+        if rng_state is not None and rng_state.get("bit_generator") == type(
+            self._rng.bit_generator
+        ).__name__:
+            self._rng.bit_generator.state = rng_state
 
     def fit(self, X_inv, X_var, y_onehot=None, *, hooks=None) -> "ConditionalVAE":
         """Train on source triples; ``y_onehot`` accepted for API parity (unused).

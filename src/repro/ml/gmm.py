@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.estimator import Estimator, register_estimator
 from repro.utils.errors import ConvergenceError, ValidationError
 from repro.utils.validation import (
     check_array,
@@ -20,7 +21,8 @@ from repro.utils.validation import (
 _LOG2PI = np.log(2.0 * np.pi)
 
 
-class GaussianMixture:
+@register_estimator("gmm")
+class GaussianMixture(Estimator):
     """Diagonal-covariance GMM with k-means++-style initialization.
 
     Parameters
@@ -34,6 +36,10 @@ class GaussianMixture:
     n_init:
         Number of random restarts; the best log-likelihood wins.
     """
+
+    _fitted_attr = "means_"
+    _state_scalars = ("converged_", "lower_bound_")
+    _state_arrays = ("weights_", "means_", "variances_")
 
     def __init__(
         self,

@@ -9,6 +9,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.estimator import (
+    Estimator,
+    decode_json,
+    encode_json,
+    pack_estimator,
+    register_estimator,
+    unpack_estimator,
+)
 from repro.ml.tree import RegressionTree
 from repro.nn.losses import softmax
 from repro.utils.errors import ValidationError
@@ -21,7 +29,8 @@ from repro.utils.validation import (
 )
 
 
-class GradientBoostingClassifier:
+@register_estimator("gbm")
+class GradientBoostingClassifier(Estimator):
     """Newton-boosted regression trees for classification.
 
     Parameters
@@ -66,6 +75,35 @@ class GradientBoostingClassifier:
         self.classes_: np.ndarray | None = None
         self.base_score_: np.ndarray | None = None
         self.n_features_: int | None = None
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        check_is_fitted(self, "trees_")
+        state = {
+            "__meta__": encode_json(
+                {"n_features_": self.n_features_, "n_rounds": len(self.trees_)}
+            ),
+            "classes_": np.asarray(self.classes_).copy(),
+            "base_score_": self.base_score_.copy(),
+        }
+        for r, round_trees in enumerate(self.trees_):
+            for c, tree in enumerate(round_trees):
+                state.update(pack_estimator(tree, prefix=f"round{r}.class{c}."))
+        return state
+
+    def load_state_dict(self, state) -> "GradientBoostingClassifier":
+        meta = decode_json(state["__meta__"])
+        self.n_features_ = meta["n_features_"]
+        self.classes_ = np.array(state["classes_"])
+        self.base_score_ = np.array(state["base_score_"])
+        k = len(self.classes_)
+        self.trees_ = [
+            [
+                unpack_estimator(state, prefix=f"round{r}.class{c}.")
+                for c in range(k)
+            ]
+            for r in range(meta["n_rounds"])
+        ]
+        return self
 
     def fit(self, X, y, sample_weight=None) -> "GradientBoostingClassifier":
         X, y = check_X_y(X, y)

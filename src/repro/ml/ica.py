@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.estimator import Estimator, register_estimator
 from repro.utils.errors import ConvergenceError, ValidationError
 from repro.utils.validation import (
     check_array,
@@ -19,7 +20,8 @@ from repro.utils.validation import (
 )
 
 
-class FastICA:
+@register_estimator("fastica")
+class FastICA(Estimator):
     """Symmetric FastICA with whitening.
 
     Parameters
@@ -30,6 +32,10 @@ class FastICA:
     max_iter, tol:
         Fixed-point iteration budget and convergence tolerance.
     """
+
+    _fitted_attr = "unmixing_"
+    _state_scalars = ("n_iter_",)
+    _state_arrays = ("mean_", "whitening_", "unmixing_", "mixing_")
 
     def __init__(
         self,

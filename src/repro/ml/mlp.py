@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.estimator import Estimator, register_estimator
 from repro.ml.preprocessing import one_hot
 from repro.nn.layers import Dense, Dropout, ReLU
 from repro.nn.losses import SoftmaxCrossEntropy, softmax
@@ -25,7 +26,8 @@ from repro.utils.validation import (
 )
 
 
-class MLPClassifier:
+@register_estimator("mlp")
+class MLPClassifier(Estimator):
     """Multi-layer perceptron with softmax cross-entropy and Adam.
 
     Parameters
@@ -35,6 +37,11 @@ class MLPClassifier:
     epochs, batch_size, lr, weight_decay, dropout:
         Optimization hyperparameters.
     """
+
+    _fitted_attr = "network_"
+    _state_scalars = ("n_features_", "loss_curve_")
+    _state_arrays = ("classes_",)
+    _state_networks = ("network_",)
 
     def __init__(
         self,
@@ -75,6 +82,13 @@ class MLPClassifier:
         layers.append(Dense(last, n_classes, init="glorot_uniform",
                             random_state=int(rng.integers(0, 2**31 - 1))))
         return Sequential(layers)
+
+    def _prepare_load(self, meta: dict, state: dict) -> None:
+        # topology is a pure function of (n_features, classes, hyperparams);
+        # weights are overwritten in place right after
+        self.network_ = self._build(
+            int(self.n_features_), len(self.classes_), np.random.default_rng(0)
+        )
 
     def fit(self, X, y, sample_weight=None) -> "MLPClassifier":
         X, y = check_X_y(X, y)

@@ -9,17 +9,22 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.estimator import Estimator, register_estimator
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_array, check_consistent_features, check_is_fitted
 
 
-class MinMaxScaler:
+@register_estimator("minmax_scaler")
+class MinMaxScaler(Estimator):
     """Scale features linearly into ``feature_range`` (default ``(-1, 1)``).
 
     Constant features map to the midpoint of the range, which keeps the
     transform finite for degenerate telemetry columns (e.g. an interface that
     never changes state in the source domain).
     """
+
+    _fitted_attr = "data_min_"
+    _state_arrays = ("data_min_", "data_max_")
 
     def __init__(self, feature_range: tuple[float, float] = (-1.0, 1.0)) -> None:
         lo, hi = feature_range
@@ -29,10 +34,7 @@ class MinMaxScaler:
         self.data_min_: np.ndarray | None = None
         self.data_max_: np.ndarray | None = None
 
-    def fit(self, X) -> "MinMaxScaler":
-        X = check_array(X)
-        self.data_min_ = X.min(axis=0)
-        self.data_max_ = X.max(axis=0)
+    def _compute_scale(self) -> None:
         span = self.data_max_ - self.data_min_
         # spans so small that dividing would overflow count as constant
         usable = span > (self.feature_range[1] - self.feature_range[0]) / np.finfo(np.float64).max
@@ -41,6 +43,15 @@ class MinMaxScaler:
             (self.feature_range[1] - self.feature_range[0]) / np.where(usable, span, 1.0),
             0.0,
         )
+
+    def _post_load(self, meta: dict) -> None:
+        self._compute_scale()
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = check_array(X)
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        self._compute_scale()
         return self
 
     def transform(self, X) -> np.ndarray:
@@ -72,8 +83,12 @@ class MinMaxScaler:
         return out
 
 
-class StandardScaler:
+@register_estimator("standard_scaler")
+class StandardScaler(Estimator):
     """Zero-mean unit-variance scaling; constant features map to zero."""
+
+    _fitted_attr = "mean_"
+    _state_arrays = ("mean_", "scale_")
 
     def __init__(self) -> None:
         self.mean_: np.ndarray | None = None
@@ -103,11 +118,19 @@ class StandardScaler:
         return X * self.scale_ + self.mean_
 
 
-class LabelEncoder:
+@register_estimator("label_encoder")
+class LabelEncoder(Estimator):
     """Encode arbitrary hashable labels as contiguous integers."""
+
+    _fitted_attr = "classes_"
+    _state_arrays = ("classes_",)
 
     def __init__(self) -> None:
         self.classes_: np.ndarray | None = None
+
+    def _post_load(self, meta: dict) -> None:
+        if self.classes_ is not None:
+            self._index = {label: i for i, label in enumerate(self.classes_)}
 
     def fit(self, y) -> "LabelEncoder":
         y = np.asarray(y)
@@ -137,8 +160,12 @@ class LabelEncoder:
         return self.classes_[codes]
 
 
-class OneHotEncoder:
+@register_estimator("one_hot_encoder")
+class OneHotEncoder(Estimator):
     """One-hot encode an integer label vector into a dense matrix."""
+
+    _fitted_attr = "n_classes_"
+    _state_scalars = ("n_classes_",)
 
     def __init__(self) -> None:
         self.n_classes_: int | None = None

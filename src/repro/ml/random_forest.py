@@ -9,6 +9,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.estimator import (
+    Estimator,
+    decode_json,
+    encode_json,
+    pack_estimator,
+    register_estimator,
+    unpack_estimator,
+)
 from repro.ml.tree import DecisionTreeClassifier
 from repro.utils.errors import ValidationError
 from repro.utils.validation import (
@@ -20,7 +28,8 @@ from repro.utils.validation import (
 )
 
 
-class RandomForestClassifier:
+@register_estimator("random_forest")
+class RandomForestClassifier(Estimator):
     """Bootstrap-aggregated decision trees with sqrt-feature split sampling."""
 
     def __init__(
@@ -46,6 +55,28 @@ class RandomForestClassifier:
         self.trees_: list[DecisionTreeClassifier] | None = None
         self.classes_: np.ndarray | None = None
         self.n_features_: int | None = None
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        check_is_fitted(self, "trees_")
+        state = {
+            "__meta__": encode_json(
+                {"n_features_": self.n_features_, "n_trees": len(self.trees_)}
+            ),
+            "classes_": np.asarray(self.classes_).copy(),
+        }
+        for i, tree in enumerate(self.trees_):
+            state.update(pack_estimator(tree, prefix=f"tree{i}."))
+        return state
+
+    def load_state_dict(self, state) -> "RandomForestClassifier":
+        meta = decode_json(state["__meta__"])
+        self.n_features_ = meta["n_features_"]
+        self.classes_ = np.array(state["classes_"])
+        self.trees_ = [
+            unpack_estimator(state, prefix=f"tree{i}.")
+            for i in range(meta["n_trees"])
+        ]
+        return self
 
     def fit(self, X, y, sample_weight=None) -> "RandomForestClassifier":
         X, y = check_X_y(X, y)

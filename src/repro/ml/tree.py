@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.utils.errors import ValidationError
+from repro.core.estimator import Estimator, register_estimator
+from repro.utils.errors import ArtifactError, ValidationError
 from repro.utils.validation import (
     check_array,
     check_consistent_features,
@@ -56,6 +57,70 @@ def _resolve_max_features(max_features, n_features: int) -> int:
             raise ValidationError("float max_features must be in (0, 1]")
         return max(1, int(max_features * n_features))
     raise ValidationError(f"unsupported max_features: {max_features!r}")
+
+
+def pack_tree_nodes(root: _Node) -> dict[str, np.ndarray]:
+    """Flatten a node tree into parallel preorder arrays (pickle-free codec).
+
+    ``left``/``right`` hold child row indices (``-1`` at leaves); ``values``
+    is ``(n_nodes, k)`` for classification trees and ``(n_nodes,)`` for
+    regression trees.  Iterative traversal — deep unbalanced trees must not
+    hit the interpreter recursion limit.
+    """
+    nodes: list[_Node] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        if node.left is not None:
+            stack.append(node.right)
+            stack.append(node.left)
+    position = {id(node): i for i, node in enumerate(nodes)}
+    return {
+        "tree.feature": np.array([n.feature for n in nodes], dtype=np.int64),
+        "tree.threshold": np.array([n.threshold for n in nodes], dtype=np.float64),
+        "tree.left": np.array(
+            [position[id(n.left)] if n.left is not None else -1 for n in nodes],
+            dtype=np.int64,
+        ),
+        "tree.right": np.array(
+            [position[id(n.right)] if n.right is not None else -1 for n in nodes],
+            dtype=np.int64,
+        ),
+        "tree.n_samples": np.array([n.n_samples for n in nodes], dtype=np.int64),
+        "tree.values": np.array([n.value for n in nodes], dtype=np.float64),
+    }
+
+
+def unpack_tree_nodes(state: dict[str, np.ndarray], *, scalar_values: bool) -> _Node:
+    """Rebuild the node tree flattened by :func:`pack_tree_nodes`."""
+    for key in ("tree.feature", "tree.threshold", "tree.left", "tree.right",
+                "tree.n_samples", "tree.values"):
+        if key not in state:
+            raise ArtifactError(f"tree state is missing {key!r}")
+    feature = np.asarray(state["tree.feature"], dtype=np.int64)
+    threshold = np.asarray(state["tree.threshold"], dtype=np.float64)
+    left = np.asarray(state["tree.left"], dtype=np.int64)
+    right = np.asarray(state["tree.right"], dtype=np.int64)
+    n_samples = np.asarray(state["tree.n_samples"], dtype=np.int64)
+    values = np.asarray(state["tree.values"], dtype=np.float64)
+    n_nodes = feature.shape[0]
+    if n_nodes == 0:
+        raise ArtifactError("tree state holds no nodes")
+    nodes = [
+        _Node(
+            feature=int(feature[i]),
+            threshold=float(threshold[i]),
+            value=float(values[i]) if scalar_values else values[i].copy(),
+            n_samples=int(n_samples[i]),
+        )
+        for i in range(n_nodes)
+    ]
+    for i in range(n_nodes):
+        if left[i] >= 0:
+            nodes[i].left = nodes[left[i]]
+            nodes[i].right = nodes[right[i]]
+    return nodes[0]
 
 
 def _best_classification_split(
@@ -140,13 +205,18 @@ def _best_regression_split(
     return best
 
 
-class DecisionTreeClassifier:
+@register_estimator("decision_tree")
+class DecisionTreeClassifier(Estimator):
     """CART classifier with Gini impurity.
 
     Parameters mirror the common scikit-learn surface (``max_depth``,
     ``min_samples_split``, ``min_samples_leaf``, ``max_features``); the tree
     predicts class probabilities from leaf class frequencies.
     """
+
+    _fitted_attr = "root_"
+    _state_scalars = ("n_features_",)
+    _state_arrays = ("classes_",)
 
     def __init__(
         self,
@@ -171,6 +241,17 @@ class DecisionTreeClassifier:
         self.root_: _Node | None = None
         self.classes_: np.ndarray | None = None
         self.n_features_: int | None = None
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = super().state_dict()
+        state.update(pack_tree_nodes(self.root_))
+        return state
+
+    def load_state_dict(self, state) -> "DecisionTreeClassifier":
+        super().load_state_dict(state)
+        self.root_ = unpack_tree_nodes(state, scalar_values=False)
+        self._n_candidates = _resolve_max_features(self.max_features, self.n_features_)
+        return self
 
     def fit(self, X, y) -> "DecisionTreeClassifier":
         X, y = check_X_y(X, y)
@@ -245,12 +326,16 @@ class DecisionTreeClassifier:
         return walk(self.root_)
 
 
-class RegressionTree:
+@register_estimator("regression_tree")
+class RegressionTree(Estimator):
     """Second-order regression tree fit on (gradient, hessian) targets.
 
     Leaf values are the Newton step ``-G / (H + lambda)``; used as the weak
     learner inside gradient boosting.
     """
+
+    _fitted_attr = "root_"
+    _state_scalars = ("n_features_",)
 
     def __init__(
         self,
@@ -272,6 +357,17 @@ class RegressionTree:
         self.random_state = random_state
         self.root_: _Node | None = None
         self.n_features_: int | None = None
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = super().state_dict()
+        state.update(pack_tree_nodes(self.root_))
+        return state
+
+    def load_state_dict(self, state) -> "RegressionTree":
+        super().load_state_dict(state)
+        self.root_ = unpack_tree_nodes(state, scalar_values=True)
+        self._n_candidates = _resolve_max_features(self.max_features, self.n_features_)
+        return self
 
     def fit(self, X, g, h) -> "RegressionTree":
         X = check_array(X)

@@ -1,0 +1,13 @@
+"""Serving layer: compiled inference plans and the batch-scoring runtime."""
+
+from repro.serve.plan import InferencePlan, clone_rng
+from repro.serve.runtime import load_plan, read_input, run_serve, write_output
+
+__all__ = [
+    "InferencePlan",
+    "clone_rng",
+    "load_plan",
+    "read_input",
+    "run_serve",
+    "write_output",
+]

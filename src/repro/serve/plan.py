@@ -1,0 +1,184 @@
+"""Compiled inference plans: the allocation-free serve path of a pipeline.
+
+:meth:`FSGANPipeline.compile` flattens the pipeline's inference chain —
+scale → split variant/invariant → batched MC generator forward → merge →
+downstream ``predict_proba`` — into an :class:`InferencePlan` that replays
+the exact ufunc sequence of the live pipeline into preallocated workspace
+buffers.  At float64 the plan's probabilities are **bit-identical** to
+``FSGANPipeline.predict_proba``; at float32 they match within the fused-path
+tolerance contract (see EXPERIMENTS.md).
+
+The plan owns a *clone* of the reconstruction model's RNG, snapshotted at
+compile time, so serving never perturbs the pipeline's noise stream (and
+vice versa): a plan compiled at state S produces the same draws the pipeline
+would have produced from S.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.gan.autoencoder import VanillaAutoencoder
+from repro.gan.cgan import ConditionalGAN
+from repro.gan.vae import ConditionalVAE
+from repro.nn.workspace import Workspace
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_array, check_is_fitted
+
+__all__ = ["InferencePlan", "clone_rng"]
+
+
+def clone_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Independent Generator starting at ``rng``'s current state."""
+    new = np.random.Generator(type(rng.bit_generator)())
+    new.bit_generator.state = rng.bit_generator.state
+    return new
+
+
+class InferencePlan:
+    """Preallocated batch scorer compiled from a fitted :class:`FSGANPipeline`.
+
+    Stage buffers live in a plan-owned :class:`Workspace`; after the first
+    batch of a given size the plan allocates nothing but the downstream
+    model's own output.  Build via :meth:`FSGANPipeline.compile`.
+    """
+
+    def __init__(self, pipeline, *, n_draws: int = 1) -> None:
+        check_is_fitted(pipeline, "model_")
+        if not hasattr(pipeline.model_, "predict_proba"):
+            raise ValidationError("the downstream model has no predict_proba")
+        if n_draws < 1:
+            raise ValidationError("n_draws must be >= 1")
+        self.n_draws = int(n_draws)
+        self._ws = Workspace()
+
+        scaler = pipeline.scaler_
+        self._lo, self._hi = scaler.feature_range
+        self._data_min = scaler.data_min_
+        self._scale = scaler._scale
+        self._constant = scaler._scale == 0.0
+        self._any_constant = bool(np.any(self._constant))
+
+        separator = pipeline.separator_
+        self._inv_idx = np.ascontiguousarray(separator.invariant_indices_)
+        self._var_idx = np.ascontiguousarray(separator.variant_indices_)
+        self._n_features = int(separator.n_features_)
+        self._n_inv = int(self._inv_idx.shape[0])
+        self._n_var = int(self._var_idx.shape[0])
+
+        self.model = pipeline.model_
+        self._recon = pipeline.reconstructor_.model_
+        rng = getattr(self._recon, "_rng", None)
+        self._rng = clone_rng(rng) if rng is not None else None
+        self.spec = pipeline.export_plan()
+
+    # -- stages (each replays the live pipeline's exact ufunc sequence) ------
+
+    def _scale_stage(self, X: np.ndarray) -> np.ndarray:
+        ws = self._ws
+        out = ws.get("scaled", X.shape)
+        # same op order as MinMaxScaler.transform: lo + (X - min) * scale
+        np.subtract(X, self._data_min, out=out)
+        np.multiply(out, self._scale, out=out)
+        np.add(out, self._lo, out=out)
+        if self._any_constant:
+            out[:, self._constant] = (self._lo + self._hi) / 2.0
+        return out
+
+    def _split_stage(self, Xs: np.ndarray) -> np.ndarray:
+        inv = self._ws.get("inv", (Xs.shape[0], self._n_inv))
+        np.take(Xs, self._inv_idx, axis=1, out=inv)
+        return inv
+
+    def _reconstruct_stage(self, X_inv: np.ndarray) -> np.ndarray:
+        recon, ws, n_draws = self._recon, self._ws, self.n_draws
+        n = X_inv.shape[0]
+        if isinstance(recon, ConditionalGAN):
+            dt = getattr(recon, "_dtype", np.dtype(np.float64))
+            g_in = ws.get("g_in", (n_draws * n, self._n_inv + recon.noise_dim), dt)
+            z = ws.get("z", (n_draws * n, recon.noise_dim), np.float64)
+            self._rng.standard_normal(out=z)
+            inv_rows = g_in[:, : self._n_inv]
+            for d in range(n_draws):
+                inv_rows[d * n : (d + 1) * n] = X_inv
+            g_in[:, self._n_inv :] = z
+            out = recon.generator_.forward(g_in, training=False)
+        elif isinstance(recon, ConditionalVAE):
+            dt = getattr(recon, "_dtype", np.dtype(np.float64))
+            dec_in = ws.get("dec_in", (n_draws * n, self._n_inv + recon.latent_dim), dt)
+            z = ws.get("z", (n_draws * n, recon.latent_dim), np.float64)
+            self._rng.standard_normal(out=z)
+            inv_rows = dec_in[:, : self._n_inv]
+            for d in range(n_draws):
+                inv_rows[d * n : (d + 1) * n] = X_inv
+            dec_in[:, self._n_inv :] = z
+            out = recon.decoder_.forward(dec_in, training=False)
+        elif isinstance(recon, VanillaAutoencoder):
+            out = recon.network_.forward(X_inv, training=False)
+            var_hat = ws.get("var_hat", (n, self._n_var))
+            var_hat[...] = out
+            return var_hat
+        else:  # identity reconstructor (empty variant block)
+            return ws.zeros("var_hat", (n, self._n_var))
+        draws = out.reshape(n_draws, n, self._n_var)
+        # sequential accumulate — same add order as ConditionalGAN.generate
+        total = ws.zeros("total", (n, self._n_var))
+        for d in range(n_draws):
+            total += draws[d]
+        total /= n_draws
+        return total
+
+    def _merge_stage(self, X_inv: np.ndarray, X_var: np.ndarray) -> np.ndarray:
+        merged = self._ws.get("merged", (X_inv.shape[0], self._n_features))
+        merged[:, self._inv_idx] = X_inv
+        merged[:, self._var_idx] = X_var
+        return merged
+
+    # -- public surface ------------------------------------------------------
+
+    def transform(self, X) -> np.ndarray:
+        """Source-like samples in scaled space (the pipeline's Eq. 11 path).
+
+        Returns a workspace buffer, valid until the next call.
+        """
+        X = check_array(X)
+        if X.shape[1] != self._n_features:
+            raise ValidationError(
+                f"expected {self._n_features} features, got {X.shape[1]}"
+            )
+        tracer = get_tracer()
+        with tracer.span("serve.scale", n_samples=X.shape[0]):
+            Xs = self._scale_stage(X)
+        with tracer.span("serve.split"):
+            X_inv = self._split_stage(Xs)
+        with tracer.span("serve.reconstruct", n_draws=self.n_draws):
+            X_var = self._reconstruct_stage(X_inv)
+        with tracer.span("serve.merge"):
+            return self._merge_stage(X_inv, X_var)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities; bit-identical (float64) to the live pipeline."""
+        registry = get_metrics()
+        t0 = time.perf_counter() if registry.enabled else 0.0
+        with get_tracer().span("serve.batch", n_samples=len(X)):
+            merged = self.transform(X)
+            with get_tracer().span("serve.predict"):
+                proba = self.model.predict_proba(merged)
+        if registry.enabled:
+            registry.counter("serve_batches").inc()
+            registry.counter("serve_rows").inc(len(X))
+            registry.histogram("serve_batch_seconds").observe(
+                time.perf_counter() - t0
+            )
+        return proba
+
+    def predict(self, X) -> np.ndarray:
+        """Predicted labels (argmax of :meth:`predict_proba`)."""
+        proba = self.predict_proba(X)
+        codes = np.argmax(proba, axis=1)
+        classes = getattr(self.model, "classes_", None)
+        return classes[codes] if classes is not None else codes

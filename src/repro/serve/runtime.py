@@ -1,0 +1,107 @@
+"""Serve runtime: load an artifact, compile its plan, score batches.
+
+Backs the ``repro serve`` CLI subcommand: a saved
+:class:`~repro.core.pipeline.FSGANPipeline` artifact is restored (no
+training configuration needed), compiled into an
+:class:`~repro.serve.plan.InferencePlan`, and run over an input batch read
+from ``.npy`` / ``.npz`` / ``.csv``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.artifacts import load_artifact
+from repro.core.pipeline import FSGANPipeline
+from repro.obs.trace import get_tracer
+from repro.utils.errors import ArtifactError
+
+__all__ = ["load_plan", "read_input", "run_serve", "write_output"]
+
+
+def load_plan(artifact_path, *, n_draws: int = 1):
+    """Load a pipeline artifact and compile its inference plan."""
+    loaded = load_artifact(artifact_path)
+    pipeline = loaded.estimator
+    if not isinstance(pipeline, FSGANPipeline):
+        raise ArtifactError(
+            f"serving requires an {FSGANPipeline._estimator_kind!r} artifact; "
+            f"{artifact_path} holds {loaded.kind or type(pipeline).__name__!r}"
+        )
+    return pipeline.compile(n_draws=n_draws), loaded
+
+
+def read_input(path) -> np.ndarray:
+    """Read a feature batch from ``.npy``, ``.npz`` (key ``X``) or ``.csv``."""
+    path = Path(path)
+    if not path.exists():
+        raise ArtifactError(f"no input file at {path}")
+    suffix = path.suffix.lower()
+    if suffix == ".npy":
+        X = np.load(path, allow_pickle=False)
+    elif suffix == ".npz":
+        data = np.load(path, allow_pickle=False)
+        if "X" not in data.files:
+            raise ArtifactError(f"{path} has no array named 'X' (found {data.files})")
+        X = data["X"]
+    elif suffix == ".csv":
+        X = np.loadtxt(path, delimiter=",", ndmin=2)
+    else:
+        raise ArtifactError(f"unsupported input format {suffix!r} (npy/npz/csv)")
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ArtifactError(f"input batch must be 2-D, got shape {X.shape}")
+    return X
+
+
+def write_output(path, *, proba: np.ndarray, labels: np.ndarray) -> Path:
+    """Write scores to ``.npz`` (arrays) or ``.json`` (row-major lists)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix.lower() == ".json":
+        import json
+
+        path.write_text(
+            json.dumps(
+                {"proba": proba.tolist(), "labels": labels.tolist()}, indent=2
+            )
+            + "\n"
+        )
+    else:
+        np.savez(path, proba=proba, labels=np.asarray(labels))
+    return path
+
+
+def run_serve(
+    artifact_path,
+    input_path,
+    *,
+    output_path=None,
+    n_draws: int = 1,
+) -> dict:
+    """Score one batch through a compiled plan; returns a summary dict."""
+    with get_tracer().span("serve.load", artifact=str(artifact_path)):
+        plan, loaded = load_plan(artifact_path, n_draws=n_draws)
+    X = read_input(input_path)
+    t0 = time.perf_counter()
+    proba = plan.predict_proba(X)
+    seconds = time.perf_counter() - t0
+    codes = np.argmax(proba, axis=1)
+    classes = getattr(plan.model, "classes_", None)
+    labels = classes[codes] if classes is not None else codes
+    summary = {
+        "artifact": str(artifact_path),
+        "kind": loaded.kind,
+        "n_samples": int(X.shape[0]),
+        "n_features": int(X.shape[1]),
+        "n_draws": int(n_draws),
+        "seconds": seconds,
+        "rows_per_second": float(X.shape[0] / seconds) if seconds > 0 else float("inf"),
+        "schema_version": loaded.manifest.get("schema_version"),
+    }
+    if output_path is not None:
+        summary["output"] = str(write_output(output_path, proba=proba, labels=labels))
+    return summary

@@ -31,3 +31,12 @@ class GraphError(ReproError, ValueError):
 
 class ConfigurationError(ReproError, ValueError):
     """A configuration object contains mutually inconsistent settings."""
+
+
+class ArtifactError(ReproError, ValueError):
+    """A serialized artifact is missing, corrupted, or incompatible.
+
+    Raised by the artifact store when a bundle fails its content hash, uses
+    an unknown schema version, or does not match the estimator/pipeline it
+    is being loaded into (feature counts, variant-mask shape, model kind).
+    """

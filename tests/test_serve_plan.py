@@ -1,0 +1,208 @@
+"""Compiled inference plans and the serve runtime.
+
+The load-bearing contract: at float64 a compiled plan's ``predict_proba``
+is bit-identical to the live pipeline's — in this process, across
+successive batches (the RNG streams advance in lockstep), and across a
+save → fresh-interpreter → compile → score cycle.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import FSGANPipeline, ReconstructionConfig
+from repro.core.artifacts import save_artifact
+from repro.ml import MLPClassifier
+from repro.serve import InferencePlan, read_input, run_serve, write_output
+from repro.serve.runtime import load_plan
+from repro.utils.errors import ArtifactError, ValidationError
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def fast_mlp():
+    return MLPClassifier(hidden_sizes=(16,), epochs=8, random_state=0)
+
+
+def _fit(tiny_5gc, strategy="gan"):
+    X_few, _, X_test, _ = tiny_5gc.few_shot_split(5, random_state=0)
+    pipe = FSGANPipeline(
+        fast_mlp,
+        reconstruction_config=ReconstructionConfig(
+            strategy=strategy, epochs=2, noise_dim=2, hidden_size=8),
+        random_state=0,
+    ).fit(tiny_5gc.X_source, tiny_5gc.y_source, X_few)
+    return pipe, X_test
+
+
+class TestPlanParity:
+    @pytest.mark.parametrize("strategy,n_draws", [
+        ("gan", 1), ("gan", 3), ("nocond", 2), ("vae", 2),
+        ("autoencoder", 1),
+    ])
+    def test_bit_identical_to_pipeline(self, tiny_5gc, strategy, n_draws):
+        pipe, X_test = _fit(tiny_5gc, strategy)
+        plan = pipe.compile(n_draws=n_draws)
+        # first batch, then a second one: the cloned RNG stays in lockstep
+        for lo, hi in ((0, 32), (32, 48)):
+            np.testing.assert_array_equal(
+                plan.predict_proba(X_test[lo:hi]),
+                pipe.predict_proba(X_test[lo:hi], n_draws=n_draws))
+
+    def test_transform_matches_pipeline(self, tiny_5gc):
+        pipe, X_test = _fit(tiny_5gc)
+        plan = pipe.compile()
+        np.testing.assert_array_equal(
+            plan.transform(X_test[:16]).copy(),
+            pipe.transform(X_test[:16]))
+
+    def test_compile_does_not_perturb_pipeline_stream(self, tiny_5gc):
+        pipe, X_test = _fit(tiny_5gc)
+        before = pipe.predict_proba(X_test[:8])
+        pipe.compile()  # compiling must not consume pipeline noise
+        pipe2, _ = _fit(tiny_5gc)
+        pipe2.predict_proba(X_test[:8])
+        np.testing.assert_array_equal(
+            pipe.predict_proba(X_test[:8]), pipe2.predict_proba(X_test[:8]))
+        assert before.shape == (8, before.shape[1])
+
+    def test_predict_returns_class_labels(self, tiny_5gc):
+        pipe, X_test = _fit(tiny_5gc)
+        plan = pipe.compile()
+        labels = plan.predict(X_test[:10])
+        assert set(np.unique(labels)) <= set(pipe.model_.classes_)
+
+    def test_batch_size_change_reallocates_safely(self, tiny_5gc):
+        pipe, X_test = _fit(tiny_5gc)
+        plan = pipe.compile()
+        for n in (7, 31, 7):
+            np.testing.assert_array_equal(
+                plan.predict_proba(X_test[:n]),
+                pipe.predict_proba(X_test[:n]))
+
+
+class TestPlanValidation:
+    def test_unfitted_pipeline_rejected(self):
+        from repro.utils.errors import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            InferencePlan(FSGANPipeline(fast_mlp))
+
+    def test_bad_n_draws(self, tiny_5gc):
+        pipe, _ = _fit(tiny_5gc)
+        with pytest.raises(ValidationError, match="n_draws"):
+            pipe.compile(n_draws=0)
+
+    def test_wrong_feature_count(self, tiny_5gc):
+        pipe, X_test = _fit(tiny_5gc)
+        plan = pipe.compile()
+        with pytest.raises(ValidationError, match="features"):
+            plan.predict_proba(X_test[:4, :5])
+
+    def test_spans_emitted(self, tiny_5gc, tmp_path):
+        from repro.obs import RunRecorder
+
+        pipe, X_test = _fit(tiny_5gc)
+        plan = pipe.compile()
+        with RunRecorder(tmp_path / "run") as rec:
+            plan.predict_proba(X_test[:4])
+        assert rec.tracer.find("serve.batch") is not None
+        assert rec.tracer.find("serve.reconstruct") is not None
+
+
+class TestServeRuntime:
+    def test_read_input_formats(self, tmp_path, rng):
+        X = rng.normal(size=(6, 4))
+        np.save(tmp_path / "x.npy", X)
+        np.savez(tmp_path / "x.npz", X=X)
+        np.savetxt(tmp_path / "x.csv", X, delimiter=",")
+        np.testing.assert_array_equal(read_input(tmp_path / "x.npy"), X)
+        np.testing.assert_array_equal(read_input(tmp_path / "x.npz"), X)
+        np.testing.assert_allclose(read_input(tmp_path / "x.csv"), X,
+                                   rtol=1e-15)
+
+    def test_read_input_errors(self, tmp_path):
+        with pytest.raises(ArtifactError, match="no input file"):
+            read_input(tmp_path / "missing.npy")
+        np.savez(tmp_path / "bad.npz", Y=np.zeros((2, 2)))
+        with pytest.raises(ArtifactError, match="'X'"):
+            read_input(tmp_path / "bad.npz")
+        np.save(tmp_path / "one_d.npy", np.zeros(5))
+        with pytest.raises(ArtifactError, match="2-D"):
+            read_input(tmp_path / "one_d.npy")
+        (tmp_path / "x.parquet").write_bytes(b"xx")
+        with pytest.raises(ArtifactError, match="unsupported input format"):
+            read_input(tmp_path / "x.parquet")
+
+    def test_write_output_json_and_npz(self, tmp_path):
+        proba = np.array([[0.25, 0.75], [0.5, 0.5]])
+        labels = np.array([1, 0])
+        out = write_output(tmp_path / "scores.json", proba=proba,
+                           labels=labels)
+        payload = json.loads(out.read_text())
+        assert payload["labels"] == [1, 0]
+        out = write_output(tmp_path / "scores.npz", proba=proba,
+                           labels=labels)
+        data = np.load(out)
+        np.testing.assert_array_equal(data["proba"], proba)
+
+    def test_load_plan_rejects_non_pipeline_artifact(self, tiny_5gc,
+                                                     tmp_path):
+        from repro.ml import MinMaxScaler
+
+        scaler = MinMaxScaler().fit(tiny_5gc.X_source)
+        save_artifact(scaler, tmp_path / "scaler.npz")
+        with pytest.raises(ArtifactError, match="fsgan_pipeline"):
+            load_plan(tmp_path / "scaler.npz")
+
+    def test_run_serve_summary_and_parity(self, tiny_5gc, tmp_path):
+        pipe, X_test = _fit(tiny_5gc)
+        save_artifact(pipe, tmp_path / "pipe.npz")
+        expected = pipe.predict_proba(X_test[:12])
+        np.save(tmp_path / "batch.npy", X_test[:12])
+        summary = run_serve(
+            tmp_path / "pipe.npz", tmp_path / "batch.npy",
+            output_path=tmp_path / "scores.npz",
+        )
+        assert summary["kind"] == "fsgan_pipeline"
+        assert summary["n_samples"] == 12
+        assert summary["schema_version"] == 2
+        got = np.load(tmp_path / "scores.npz")["proba"]
+        np.testing.assert_array_equal(got, expected)
+
+
+_CHILD = """
+import sys
+import numpy as np
+from repro.serve import load_plan
+
+plan, loaded = load_plan(sys.argv[1])
+X = np.load(sys.argv[2], allow_pickle=False)
+np.save(sys.argv[3], plan.predict_proba(X))
+"""
+
+
+class TestCrossProcessBitIdentity:
+    def test_fresh_process_compiled_plan_matches(self, tiny_5gc, tmp_path):
+        """The PR's acceptance criterion: train here, save, reload in a
+        fresh interpreter with no training config, compile, score — and get
+        float64 bit-identical probabilities."""
+        pipe, X_test = _fit(tiny_5gc)
+        save_artifact(pipe, tmp_path / "pipe.npz",
+                      provenance={"dataset": "5gc", "seed": 0})
+        # expected AFTER save: both sides consume from the saved RNG state
+        expected = pipe.predict_proba(X_test[:24])
+        np.save(tmp_path / "batch.npy", X_test[:24])
+        subprocess.run(
+            [sys.executable, "-c", _CHILD, str(tmp_path / "pipe.npz"),
+             str(tmp_path / "batch.npy"), str(tmp_path / "got.npy")],
+            check=True, env=dict(os.environ, PYTHONPATH=SRC), timeout=600,
+        )
+        got = np.load(tmp_path / "got.npy")
+        assert got.dtype == np.float64
+        np.testing.assert_array_equal(got, expected)
