@@ -1,0 +1,113 @@
+"""Bench-regression smoke gate: fresh speedups vs the committed baseline.
+
+CI runs each benchmark suite into a *fresh* record file, then invokes
+
+    python benchmarks/perf/check_regression.py \
+        --baseline BENCH_serve.json --fresh fresh/BENCH_serve.json
+
+Only *speedup ratios* are compared — wall-clock seconds depend on the
+runner, but before/after are timed on the same machine in the same
+process, so their ratio is machine-independent.  The gate fails (exit 1)
+when a fresh ratio drops more than ``--tolerance`` (default 25%) below
+the committed baseline's, i.e. the optimized path lost a chunk of its
+advantage over the reference path.
+
+Records present on only one side are reported but never fail the gate
+(new benchmarks land before their baseline is committed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: (label, path into the record) for every ratio worth gating
+RATIO_FIELDS = (
+    ("speedup", ("speedup",)),
+    ("serve.speedup", ("serve", "speedup")),
+    ("float32.speedup_vs_float64", ("float32", "speedup_vs_float64")),
+)
+
+
+def _dig(record: dict, path: tuple) -> float | None:
+    node = record
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def _ratios(record: dict) -> dict[str, float]:
+    out = {}
+    for label, path in RATIO_FIELDS:
+        value = _dig(record, path)
+        if value is not None:
+            out[label] = value
+    return out
+
+
+def compare(baseline: dict, fresh: dict, *, tolerance: float) -> list[str]:
+    """Return a list of failure messages (empty == gate passes)."""
+    failures: list[str] = []
+    base_records = baseline.get("records", {})
+    fresh_records = fresh.get("records", {})
+    shared = sorted(set(base_records) & set(fresh_records))
+    for key in sorted(set(base_records) ^ set(fresh_records)):
+        side = "baseline" if key in base_records else "fresh"
+        print(f"  [skip] {key}: only in {side}")
+    if not shared:
+        print("  no shared records; nothing to gate")
+        return failures
+    for key in shared:
+        base_ratios = _ratios(base_records[key])
+        fresh_ratios = _ratios(fresh_records[key])
+        for label in sorted(base_ratios):
+            if label not in fresh_ratios:
+                print(f"  [skip] {key} {label}: missing in fresh record")
+                continue
+            base, got = base_ratios[label], fresh_ratios[label]
+            floor = base * (1.0 - tolerance)
+            verdict = "ok" if got >= floor else "REGRESSION"
+            print(f"  [{verdict}] {key} {label}: "
+                  f"{base:.2f}x -> {got:.2f}x (floor {floor:.2f}x)")
+            if got < floor:
+                failures.append(
+                    f"{key} {label}: {got:.2f}x is more than "
+                    f"{100 * tolerance:.0f}% below the committed {base:.2f}x"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json")
+    parser.add_argument("--fresh", required=True,
+                        help="record file produced by this CI run")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop in speedup (0.25 = 25%%)")
+    args = parser.parse_args(argv)
+    if not 0.0 < args.tolerance < 1.0:
+        parser.error("tolerance must be in (0, 1)")
+
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    with open(args.fresh, encoding="utf-8") as fh:
+        fresh = json.load(fh)
+    if baseline.get("schema") != fresh.get("schema"):
+        print(f"schema mismatch: baseline {baseline.get('schema')!r} "
+              f"vs fresh {fresh.get('schema')!r}", file=sys.stderr)
+        return 1
+
+    print(f"gate: {args.fresh} vs {args.baseline} "
+          f"(tolerance {100 * args.tolerance:.0f}%)")
+    failures = compare(baseline, fresh, tolerance=args.tolerance)
+    for failure in failures:
+        print(f"regression: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

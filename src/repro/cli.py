@@ -11,9 +11,19 @@ Usage::
     python -m repro bench --suite nn --dataset 5gc --preset smoke
     python -m repro bench --suite serve --dataset 5gc --preset smoke
     python -m repro serve --artifact pipe.npz --input batch.npy --output scores.npz
+    python -m repro serve --artifact pipe.npz --input batch.npy --repeat 100 \\
+        --track-drift --prom-port 9464 --snapshot-out metrics.jsonl
+    python -m repro obs summary runs/runtime-dataset=5gc-preset=smoke-seed=0
+    python -m repro obs tail runs/... --kind drift.alarm
+    python -m repro obs diff runs/a runs/b
 
 Each subcommand runs one artifact of the paper's evaluation section and
 prints it in the paper's layout (see EXPERIMENTS.md for the mapping).
+``repro serve`` additionally prints per-stage latency percentiles at
+shutdown and can expose a live Prometheus endpoint (``--prom-port``),
+periodic metric snapshots (``--snapshot-out``) and streaming drift scores
+against the artifact's training reference (``--track-drift``).
+``repro obs`` inspects the run bundles that ``--trace`` writes.
 
 Observability flags (available on every subcommand):
 
@@ -163,6 +173,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write proba + labels to .npz or .json")
     p.add_argument("--n-draws", type=int, default=1,
                    help="Monte-Carlo draws per sample")
+    p.add_argument("--repeat", type=int, default=1, metavar="N",
+                   help="score the batch N times (soak mode; scores are "
+                   "written from the first pass)")
+    p.add_argument("--track-drift", action="store_true",
+                   help="stream per-feature PSI/KS drift scores against the "
+                   "artifact's training reference")
+    p.add_argument("--prom-port", type=int, default=None, metavar="PORT",
+                   help="expose a Prometheus /metrics endpoint on this port "
+                   "while serving")
+    p.add_argument("--snapshot-out", metavar="PATH", default=None,
+                   help="append metric snapshots to this .jsonl/.csv file")
+    p.add_argument("--snapshot-every", type=float, default=None,
+                   metavar="SECONDS",
+                   help="snapshot period (with --snapshot-out); default: one "
+                   "snapshot at shutdown")
+
+    p = sub.add_parser(
+        "obs",
+        help="inspect run bundles: summary, tail events, diff two runs",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    ps = obs_sub.add_parser("summary",
+                            help="latency/drift/counter report of one bundle")
+    ps.add_argument("run_dir", help="run directory (or metrics.json file)")
+    pt = obs_sub.add_parser("tail", help="print the last events of a bundle")
+    pt.add_argument("run_dir")
+    pt.add_argument("-n", type=int, default=20, help="events to show")
+    pt.add_argument("--kind", default=None, metavar="KIND",
+                    help="only events of this kind (e.g. drift.alarm)")
+    pd = obs_sub.add_parser("diff", help="metric-by-metric diff of two runs")
+    pd.add_argument("run_a")
+    pd.add_argument("run_b")
     return parser
 
 
@@ -275,21 +317,74 @@ def _dispatch(args, preset) -> None:
             args.input,
             output_path=args.output,
             n_draws=args.n_draws,
+            repeat=args.repeat,
+            track_drift=args.track_drift,
+            prom_port=args.prom_port,
+            snapshot_path=args.snapshot_out,
+            snapshot_interval=args.snapshot_every,
         )
+        repeat_note = (f" x {summary['repeat']} passes"
+                       if summary["repeat"] > 1 else "")
         print(
             f"scored {summary['n_samples']} rows x {summary['n_features']} "
-            f"features through {summary['kind']} artifact "
+            f"features{repeat_note} through {summary['kind']} artifact "
             f"(schema v{summary['schema_version']}, n_draws={summary['n_draws']}): "
             f"{1e3 * summary['seconds']:.2f} ms "
             f"({summary['rows_per_second']:.0f} rows/s)"
         )
+        for stage, s in summary["stages"].items():
+            print(
+                f"  {stage:<9} p50={1e3 * s['p50']:8.3f} ms  "
+                f"p90={1e3 * s['p90']:8.3f} ms  p99={1e3 * s['p99']:8.3f} ms  "
+                f"(n={s['count']})"
+            )
+        latency = summary["latency"]
+        if latency.get("count"):
+            print(
+                f"  batch     p50={1e3 * latency['p50']:8.3f} ms  "
+                f"p90={1e3 * latency['p90']:8.3f} ms  "
+                f"p99={1e3 * latency['p99']:8.3f} ms"
+            )
+        if "drift" in summary:
+            drift = summary["drift"]
+            state = "ALARM" if drift["alarmed"] else "ok"
+            print(
+                f"  drift     psi_max={drift['psi_max']:.3f} "
+                f"ks_max={drift['ks_max']:.3f} [{state}] "
+                f"features={drift['drifted_features']}"
+            )
+        if "prometheus" in summary:
+            print(f"  metrics exposed at {summary['prometheus']}")
         if "output" in summary:
             print(f"scores written to {summary['output']}")
+
+
+def _dispatch_obs(args) -> int:
+    """Run the offline ``repro obs`` inspection subcommands."""
+    from repro.obs import diff_runs, summarize_run, tail_events
+    from repro.utils.errors import ReproError
+
+    try:
+        if args.obs_command == "summary":
+            print(summarize_run(args.run_dir))
+        elif args.obs_command == "tail":
+            print(tail_events(args.run_dir, n=args.n, kind=args.kind))
+        elif args.obs_command == "diff":
+            print(diff_runs(args.run_a, args.run_b))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:  # output piped into head/less and truncated
+        sys.stderr.close()
+        return 0
+    return 0
 
 
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "obs":  # pure inspection: no preset, no recorder
+        return _dispatch_obs(args)
     if args.log_level is not None:
         configure_logging(args.log_level)
     elif args.verbose:

@@ -133,6 +133,24 @@ class DriftMonitor:
             if drifted:
                 registry.counter("drift_detected_total").inc()
             registry.histogram("drift_jaccard").observe(jaccard)
+            # scrapeable drift state: no log parsing needed (monitor.* family)
+            registry.counter("monitor.observations_total").inc()
+            registry.gauge("monitor.jaccard").set(jaccard)
+            registry.gauge("monitor.n_variant").set(report.n_variant)
+            registry.gauge("monitor.new_variants").set(len(new))
+            registry.gauge("monitor.vanished_variants").set(len(vanished))
+            if drifted:
+                registry.counter("monitor.drifted_total").inc()
+            p_values = report.p_values
+            if p_values is not None and p_values.size:
+                alpha = self.pipeline.fs_config.alpha
+                registry.gauge("monitor.p_value_min").set(float(p_values.min()))
+                registry.gauge("monitor.p_value_median").set(
+                    float(np.median(p_values))
+                )
+                registry.gauge("monitor.frac_significant").set(
+                    float(np.mean(p_values < alpha))
+                )
         events = get_event_log()
         if events.enabled:
             events.emit(
@@ -143,6 +161,14 @@ class DriftMonitor:
                 jaccard=jaccard,
                 drifted=drifted,
             )
+            if drifted:
+                events.emit(
+                    "drift.alarm",
+                    source="monitor",
+                    jaccard=jaccard,
+                    features=list(new),
+                    n_vanished=len(vanished),
+                )
         if drifted:
             _logger.info(
                 "drift detected: jaccard=%.3f new=%d vanished=%d",

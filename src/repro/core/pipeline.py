@@ -108,7 +108,12 @@ class FSGANPipeline(Estimator):
 
     _param_exclude = ("model_factory", "hooks")
     _fitted_attr = "model_"
+    _state_arrays = ("drift_reference_",)
     _state_estimators = ("scaler_", "separator_", "reconstructor_", "model_")
+
+    #: rows retained in the persisted drift reference (strided subsample of
+    #: the scaled source, enough for the tracker's per-feature bins)
+    _DRIFT_REFERENCE_ROWS = 2048
 
     def __init__(
         self,
@@ -130,6 +135,7 @@ class FSGANPipeline(Estimator):
         self.separator_: FeatureSeparator | None = None
         self.reconstructor_: VariantReconstructor | None = None
         self.model_ = None
+        self.drift_reference_: np.ndarray | None = None
 
     def fit(
         self, X_source, y_source, X_target_few, y_target_few=None
@@ -151,6 +157,11 @@ class FSGANPipeline(Estimator):
                 Xs = self.scaler_.transform(X_source)
                 Xt = self.scaler_.transform(X_target_few)
             self._cached_source = (Xs, y_source)
+            # a bounded, deterministic (strided — no RNG draw) subsample of
+            # the scaled source, persisted with the artifact so serve-side
+            # drift tracking works without the full training cache
+            stride = max(1, -(-Xs.shape[0] // self._DRIFT_REFERENCE_ROWS))
+            self.drift_reference_ = Xs[::stride].copy()
 
             with tracer.span("pipeline.fs") as span:
                 self.separator_ = FeatureSeparator(self.fs_config).fit(Xs, Xt)
@@ -279,14 +290,43 @@ class FSGANPipeline(Estimator):
             ],
         }
 
-    def compile(self, *, n_draws: int = 1):
+    def compile(self, *, n_draws: int = 1, track_drift: bool = False,
+                drift_options: dict | None = None):
         """Compile the serve path into an allocation-free batch scorer.
 
         Returns a :class:`repro.serve.plan.InferencePlan` whose float64
         ``predict_proba`` is bit-identical to :meth:`predict_proba` (the plan
         replays the exact same ufunc sequence into preallocated buffers and
         clones the reconstruction RNG state at compile time).
+
+        With ``track_drift=True`` the plan also carries a
+        :class:`repro.obs.drift.FeatureDriftTracker` referenced on the
+        pipeline's scaled training source — the live training cache when
+        present, else the bounded ``drift_reference_`` subsample persisted
+        with the artifact — publishing streaming PSI/KS gauges and
+        ``drift.alarm`` events for every served batch; ``drift_options``
+        forwards tracker kwargs (``psi_threshold``, ``min_rows``,
+        ``window_rows``, …).
         """
         from repro.serve.plan import InferencePlan  # lazy: serve imports core
 
-        return InferencePlan(self, n_draws=n_draws)
+        plan = InferencePlan(self, n_draws=n_draws)
+        if track_drift:
+            if self._fit_cache is not None:
+                reference, _ = self._fit_cache
+            elif self.drift_reference_ is not None:
+                # restored artifact / released cache: the persisted
+                # strided subsample of the scaled source
+                reference = self.drift_reference_
+            else:
+                raise ValidationError(
+                    "compile(track_drift=True) needs the pipeline's training "
+                    "cache or persisted drift reference; neither survived "
+                    "(legacy artifact saved before drift_reference_ existed?)"
+                )
+            from repro.obs.drift import FeatureDriftTracker
+
+            plan.attach_drift_tracker(
+                FeatureDriftTracker(reference, **(drift_options or {}))
+            )
+        return plan

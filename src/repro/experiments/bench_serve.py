@@ -23,6 +23,7 @@ from repro.experiments.models import model_factories
 from repro.experiments.presets import ExperimentPreset, get_preset
 from repro.experiments.runner import make_benchmark
 from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry, set_metrics
 from repro.obs.trace import Stopwatch, get_tracer
 
 #: schema tag stamped into every benchmark file this module writes
@@ -59,6 +60,10 @@ def bench_serve_record(
                 plan.predict_proba(X_batch)
             plan_seconds = min(plan_seconds, sw.seconds)
 
+    telemetry = _time_telemetry_overhead(
+        plan, X_batch, rounds=rounds, baseline_seconds=plan_seconds
+    )
+
     n = int(X_batch.shape[0])
     return {
         "n_samples": n,
@@ -76,6 +81,65 @@ def bench_serve_record(
         "speedup": naive_seconds / max(plan_seconds, 1e-9),
         "max_abs_diff": max_abs_diff,
         "equivalent": max_abs_diff == 0.0,
+        "telemetry": telemetry,
+    }
+
+
+def _time_telemetry_overhead(
+    plan, X_batch: np.ndarray, *, rounds: int, baseline_seconds: float
+) -> dict:
+    """Cost of the live metrics plane on the compiled serve path.
+
+    Times the plan with a live :class:`MetricsRegistry` installed (stage
+    histograms + latency sketches active) and again with the Prometheus
+    endpoint up and a 1 Hz scraper attached, against the no-op-collector
+    baseline measured by the caller.  Overheads are reported as fractions
+    (0.03 = 3% slower than disabled telemetry).
+    """
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    try:
+        metrics_seconds = float("inf")
+        for _ in range(rounds):
+            with Stopwatch() as sw:
+                plan.predict_proba(X_batch)
+            metrics_seconds = min(metrics_seconds, sw.seconds)
+
+        from repro.obs.exporters import PrometheusExporter
+
+        with PrometheusExporter(registry, port=0) as exporter:
+            import threading
+            import urllib.request
+
+            stop = threading.Event()
+
+            def scrape_loop() -> None:
+                while not stop.wait(1.0):
+                    try:
+                        urllib.request.urlopen(exporter.url, timeout=2).read()
+                    except OSError:
+                        pass
+
+            scraper = threading.Thread(target=scrape_loop, daemon=True)
+            scraper.start()
+            try:
+                scraped_seconds = float("inf")
+                for _ in range(rounds):
+                    with Stopwatch() as sw:
+                        plan.predict_proba(X_batch)
+                    scraped_seconds = min(scraped_seconds, sw.seconds)
+            finally:
+                stop.set()
+                scraper.join(timeout=3.0)
+    finally:
+        set_metrics(previous)
+    baseline = max(baseline_seconds, 1e-9)
+    return {
+        "disabled_seconds": baseline_seconds,
+        "metrics_seconds": metrics_seconds,
+        "metrics_overhead": metrics_seconds / baseline - 1.0,
+        "scraped_seconds": scraped_seconds,
+        "scraped_overhead": scraped_seconds / baseline - 1.0,
     }
 
 

@@ -242,4 +242,11 @@ def format_bench_serve(record: dict) -> str:
             else f"(max|diff| {record['max_abs_diff']:.2e} — RESULTS DIFFER)"
         ),
     ]
+    telemetry = record.get("telemetry")
+    if telemetry:
+        lines.append(
+            f"  telemetry:       metrics on {100 * telemetry['metrics_overhead']:+.1f}%, "
+            f"scraped @1Hz {100 * telemetry['scraped_overhead']:+.1f}% "
+            f"vs disabled"
+        )
     return "\n".join(lines)

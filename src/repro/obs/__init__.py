@@ -13,6 +13,7 @@ installs real collectors — most conveniently through :class:`RunRecorder`
     # runs/my-run/{trace,metrics,manifest}.json + events.jsonl written
 """
 
+from repro.obs.drift import FeatureDriftTracker
 from repro.obs.export import (
     NULL_EVENT_LOG,
     EventLog,
@@ -21,6 +22,11 @@ from repro.obs.export import (
     get_event_log,
     run_dir_name,
     set_event_log,
+)
+from repro.obs.exporters import (
+    PrometheusExporter,
+    SnapshotWriter,
+    render_prometheus,
 )
 from repro.obs.hooks import (
     NULL_HOOK,
@@ -37,6 +43,7 @@ from repro.obs.logging import (
     get_logger,
     verbosity_to_level,
 )
+from repro.obs.inspect import diff_runs, load_run, summarize_run, tail_events
 from repro.obs.metrics import (
     NULL_REGISTRY,
     Counter,
@@ -47,6 +54,7 @@ from repro.obs.metrics import (
     get_metrics,
     set_metrics,
 )
+from repro.obs.sketch import DistributionSketch, QuantileSketch
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -60,7 +68,9 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "DistributionSketch",
     "EventLog",
+    "FeatureDriftTracker",
     "Gauge",
     "Histogram",
     "HistoryHook",
@@ -75,7 +85,10 @@ __all__ = [
     "NullEventLog",
     "NullRegistry",
     "NullTracer",
+    "PrometheusExporter",
+    "QuantileSketch",
     "RunRecorder",
+    "SnapshotWriter",
     "Span",
     "Stopwatch",
     "Tracer",
@@ -83,14 +96,19 @@ __all__ = [
     "as_hook",
     "configure_logging",
     "default_hooks",
+    "diff_runs",
     "get_event_log",
     "get_logger",
     "get_metrics",
     "get_tracer",
+    "load_run",
+    "render_prometheus",
     "run_dir_name",
     "set_event_log",
     "set_metrics",
     "set_tracer",
+    "summarize_run",
+    "tail_events",
     "use_tracer",
     "verbosity_to_level",
 ]

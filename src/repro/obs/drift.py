@@ -1,0 +1,163 @@
+"""Streaming drift observability for the serve path.
+
+The paper's deployment policy (§VI-F) refreshes the FS+GAN adapter "when
+the data distribution undergoes significant changes" — which presumes a
+*continuously observable* drift signal, not a post-hoc log dump.
+:class:`FeatureDriftTracker` provides it: a
+:class:`~repro.obs.sketch.DistributionSketch` frozen on reference data
+(the pipeline's scaled source sample) accumulates every live batch, and
+once enough rows are in the window it publishes
+
+* ``<name>.psi_max`` / ``<name>.psi_mean`` / ``<name>.ks_max`` gauges,
+* per-feature ``<name>.psi{feature=j}`` gauges for offending features
+  (bounded cardinality: only features above the alarm threshold),
+* a ``<name>.drift_alarms_total`` counter, and
+* rising-edge ``drift.alarm`` / falling-edge ``drift.clear`` events in
+  the :class:`~repro.obs.export.EventLog`,
+
+all through the process-global collectors, so the tracker is silent and
+nearly free when observability is disabled (one sketch update per batch;
+score computation is skipped entirely below ``min_rows``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs.export import get_event_log
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_metrics
+from repro.obs.sketch import DistributionSketch
+from repro.utils.errors import ValidationError
+
+__all__ = ["FeatureDriftTracker"]
+
+_logger = get_logger("repro.obs.drift")
+
+
+class FeatureDriftTracker:
+    """Scores live batches against a frozen reference distribution.
+
+    Parameters
+    ----------
+    reference:
+        2-D reference sample (rows, features) defining the baseline —
+        for the serve path, the pipeline's scaled source data.
+    psi_threshold:
+        Per-feature PSI above which the feature counts as drifted; the
+        alarm fires when any feature crosses it (0.25 = the conventional
+        "major shift" reading).
+    min_rows:
+        Don't score until the live window holds at least this many rows
+        (PSI on a handful of rows is noise).
+    window_rows:
+        Once the window exceeds this many rows it is exponentially
+        decayed (halved), so old traffic fades and the scores track the
+        *current* distribution.  None keeps an ever-growing window.
+    name:
+        Metric-name prefix (``serve`` → ``serve.psi_max`` …).
+    """
+
+    def __init__(
+        self,
+        reference,
+        *,
+        n_bins: int = 10,
+        psi_threshold: float = 0.25,
+        min_rows: int = 256,
+        window_rows: int | None = 4096,
+        name: str = "serve",
+    ) -> None:
+        if psi_threshold <= 0.0:
+            raise ValidationError("psi_threshold must be > 0")
+        if min_rows < 1:
+            raise ValidationError("min_rows must be >= 1")
+        if window_rows is not None and window_rows < min_rows:
+            raise ValidationError("window_rows must be >= min_rows")
+        self.sketch = DistributionSketch(reference, n_bins=n_bins)
+        self.psi_threshold = float(psi_threshold)
+        self.min_rows = int(min_rows)
+        self.window_rows = None if window_rows is None else int(window_rows)
+        self.name = str(name)
+        self.alarmed = False
+        self.batches = 0
+        self.last_scores: dict | None = None
+
+    @property
+    def n_features(self) -> int:
+        return self.sketch.n_features
+
+    def update(self, X) -> dict | None:
+        """Fold one batch in; score and publish once the window is warm.
+
+        Returns the score dict (``psi`` / ``ks`` arrays, ``psi_max``,
+        ``drifted_features``, ``alarmed``) or None while below
+        ``min_rows``.
+        """
+        self.batches += 1
+        rows = self.sketch.update(X)
+        if rows < self.min_rows:
+            return None
+        scores = self.score()
+        self._publish(scores)
+        if self.window_rows is not None and self.sketch.rows >= self.window_rows:
+            self.sketch.decay(0.5)
+        return scores
+
+    def score(self) -> dict:
+        """Compute current PSI/KS scores without publishing anything."""
+        psi = self.sketch.psi()
+        ks = self.sketch.ks()
+        drifted = np.flatnonzero(psi > self.psi_threshold)
+        return {
+            "psi": psi,
+            "ks": ks,
+            "psi_max": float(psi.max()) if psi.size else 0.0,
+            "psi_mean": float(psi.mean()) if psi.size else 0.0,
+            "ks_max": float(ks.max()) if ks.size else 0.0,
+            "drifted_features": tuple(int(j) for j in drifted),
+            "rows": self.sketch.rows,
+            "alarmed": bool(drifted.size),
+        }
+
+    def _publish(self, scores: dict) -> None:
+        self.last_scores = scores
+        registry = get_metrics()
+        if registry.enabled:
+            prefix = self.name
+            registry.gauge(f"{prefix}.psi_max").set(scores["psi_max"])
+            registry.gauge(f"{prefix}.psi_mean").set(scores["psi_mean"])
+            registry.gauge(f"{prefix}.ks_max").set(scores["ks_max"])
+            registry.gauge(f"{prefix}.drift_window_rows").set(scores["rows"])
+            for j in scores["drifted_features"]:
+                registry.gauge(f"{prefix}.psi", feature=j).set(
+                    float(scores["psi"][j])
+                )
+        now_alarmed = scores["alarmed"]
+        if now_alarmed and not self.alarmed:
+            if registry.enabled:
+                registry.counter(f"{self.name}.drift_alarms_total").inc()
+            get_event_log().emit(
+                "drift.alarm",
+                source=self.name,
+                psi_max=scores["psi_max"],
+                ks_max=scores["ks_max"],
+                features=list(scores["drifted_features"]),
+                rows=scores["rows"],
+                batch=self.batches,
+            )
+            _logger.warning(
+                "drift alarm: psi_max=%.3f on %d feature(s) after %d rows",
+                scores["psi_max"], len(scores["drifted_features"]),
+                scores["rows"],
+            )
+        elif self.alarmed and not now_alarmed:
+            get_event_log().emit(
+                "drift.clear",
+                source=self.name,
+                psi_max=scores["psi_max"],
+                rows=scores["rows"],
+                batch=self.batches,
+            )
+            _logger.info("drift cleared: psi_max=%.3f", scores["psi_max"])
+        self.alarmed = now_alarmed

@@ -1,0 +1,20 @@
+"""Metric exporters: Prometheus text exposition and periodic snapshots.
+
+Both exporters are opt-in and read whatever registry they are pointed at
+(the process-global one by default); with no exporter running, the
+telemetry plane costs nothing beyond the no-op collector lookups.
+"""
+
+from repro.obs.exporters.prometheus import (
+    PrometheusExporter,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.obs.exporters.snapshot import SnapshotWriter
+
+__all__ = [
+    "PrometheusExporter",
+    "SnapshotWriter",
+    "render_prometheus",
+    "sanitize_metric_name",
+]

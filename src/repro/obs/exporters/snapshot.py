@@ -1,0 +1,167 @@
+"""Periodic metric snapshots for headless runs (JSONL or CSV).
+
+Where the Prometheus endpoint assumes something scrapes you,
+:class:`SnapshotWriter` pushes: every ``interval`` seconds (or on demand
+via :meth:`write`) it appends the registry's current state to a file —
+one JSON object per line, or long-format CSV rows
+(``snapshot,metric,field,value``) — so CI jobs and batch runs get a
+telemetry timeline with zero infrastructure.
+
+Snapshots are stamped with a monotonically increasing index and elapsed
+seconds since the writer was created (never wall-clock), keeping
+re-runs of the same configuration diffable.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import threading
+import time
+
+from repro.obs.metrics import get_metrics
+from repro.utils.errors import ValidationError
+
+__all__ = ["SnapshotWriter"]
+
+CSV_FIELDS = ("snapshot", "metric", "field", "value")
+
+
+class SnapshotWriter:
+    """Appends registry snapshots to a JSONL or CSV file.
+
+    Parameters
+    ----------
+    path:
+        Destination file; the format is inferred from the suffix
+        (``.csv`` → long-format CSV, anything else → JSONL) unless
+        ``fmt`` overrides it.
+    registry:
+        Registry to snapshot.  None re-reads the process-global registry
+        at each write.
+    interval:
+        Optional period in seconds for the background thread started by
+        :meth:`start` (or by entering the context manager).
+    """
+
+    def __init__(self, path, *, registry=None, interval: float | None = None,
+                 fmt: str | None = None) -> None:
+        self.path = os.fspath(path)
+        if fmt is None:
+            fmt = "csv" if self.path.lower().endswith(".csv") else "jsonl"
+        if fmt not in ("jsonl", "csv"):
+            raise ValidationError("snapshot fmt must be 'jsonl' or 'csv'")
+        if interval is not None and interval <= 0:
+            raise ValidationError("snapshot interval must be > 0 seconds")
+        self.fmt = fmt
+        self.interval = interval
+        self._registry = registry
+        self._origin = time.perf_counter()
+        self._index = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._wrote_header = False
+
+    def _registry_now(self):
+        return self._registry if self._registry is not None else get_metrics()
+
+    def write(self) -> int:
+        """Append one snapshot now; returns its index."""
+        snapshot = self._registry_now().to_dict()
+        with self._lock:
+            index = self._index
+            self._index += 1
+            elapsed = time.perf_counter() - self._origin
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8", newline="") as fh:
+                if self.fmt == "jsonl":
+                    fh.write(json.dumps({
+                        "snapshot": index,
+                        "elapsed_seconds": round(elapsed, 6),
+                        "metrics": snapshot,
+                    }) + "\n")
+                else:
+                    writer = csv.writer(fh)
+                    if not self._wrote_header and fh.tell() == 0:
+                        writer.writerow(CSV_FIELDS)
+                    self._wrote_header = True
+                    for metric, payload in snapshot.items():
+                        for field, value in payload.items():
+                            if field == "type":
+                                continue
+                            writer.writerow([index, metric, field, value])
+        return index
+
+    # -- background mode -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SnapshotWriter":
+        """Start the periodic writer thread (requires ``interval``)."""
+        if self.interval is None:
+            raise ValidationError("start() needs an interval; use write()")
+        if self.running:
+            raise ValidationError("snapshot writer already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-snapshots", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.write()
+
+    def stop(self, *, final_write: bool = True) -> None:
+        """Stop the thread; by default appends one last snapshot."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if final_write:
+            self.write()
+
+    def __enter__(self) -> "SnapshotWriter":
+        if self.interval is not None and not self.running:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(final_write=exc_type is None)
+
+    # -- reading back ---------------------------------------------------------
+
+    @staticmethod
+    def read(path) -> list[dict]:
+        """Parse a snapshot file back into a list of snapshot dicts.
+
+        CSV rows are re-nested into the JSONL shape
+        (``{"snapshot": i, "metrics": {name: {field: value}}}``), so both
+        formats round-trip through the same structure.
+        """
+        path = os.fspath(path)
+        if path.lower().endswith(".csv"):
+            with open(path, encoding="utf-8", newline="") as fh:
+                rows = list(csv.DictReader(fh))
+            snapshots: dict[int, dict] = {}
+            for row in rows:
+                snap = snapshots.setdefault(
+                    int(row["snapshot"]),
+                    {"snapshot": int(row["snapshot"]), "metrics": {}},
+                )
+                value = row["value"]
+                try:
+                    value = json.loads(value)
+                except (json.JSONDecodeError, TypeError):
+                    pass
+                snap["metrics"].setdefault(row["metric"], {})[row["field"]] = value
+            return [snapshots[i] for i in sorted(snapshots)]
+        with open(path, encoding="utf-8") as fh:
+            return [json.loads(line) for line in fh if line.strip()]

@@ -1,0 +1,186 @@
+"""Run-bundle inspection: the backend of the ``repro obs`` subcommand.
+
+Operates on the directories :class:`~repro.obs.export.RunRecorder` writes
+(``manifest.json`` / ``metrics.json`` / ``events.jsonl`` / ``trace.json``)
+— tolerant of partial bundles, so a bare ``--metrics-out`` file inspects
+too.
+
+* :func:`summarize_run` — one screen: manifest, latency histograms
+  (count / p50 / p90 / p99), counters & gauges, drift state, event mix.
+* :func:`tail_events` — the last N events, optionally filtered by kind.
+* :func:`diff_runs` — metric-by-metric comparison of two bundles with
+  absolute and relative deltas (the point of timestamp-free, seed-keyed
+  run directories).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.utils.errors import ValidationError
+
+__all__ = ["diff_runs", "load_run", "summarize_run", "tail_events"]
+
+
+def load_run(run_dir) -> dict:
+    """Read whatever bundle files exist under ``run_dir``.
+
+    ``run_dir`` may also point straight at a ``metrics.json`` file.
+    Returns ``{"manifest": ..., "metrics": ..., "events": [...]}`` with
+    None/empty placeholders for missing pieces.
+    """
+    run_dir = os.fspath(run_dir)
+    if os.path.isfile(run_dir):
+        with open(run_dir, encoding="utf-8") as fh:
+            return {"manifest": None, "metrics": json.load(fh), "events": []}
+    if not os.path.isdir(run_dir):
+        raise ValidationError(f"no run bundle at {run_dir}")
+
+    def read_json(name):
+        path = os.path.join(run_dir, name)
+        if not os.path.exists(path):
+            return None
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+
+    events = []
+    events_path = os.path.join(run_dir, "events.jsonl")
+    if os.path.exists(events_path):
+        with open(events_path, encoding="utf-8") as fh:
+            events = [json.loads(line) for line in fh if line.strip()]
+    return {
+        "manifest": read_json("manifest.json"),
+        "metrics": read_json("metrics.json") or {},
+        "events": events,
+    }
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def summarize_run(run_dir) -> str:
+    """Human-readable one-screen report of a run bundle."""
+    bundle = load_run(run_dir)
+    lines: list[str] = [f"run: {os.fspath(run_dir)}"]
+    if bundle["manifest"]:
+        pairs = " ".join(f"{k}={v}" for k, v in sorted(bundle["manifest"].items()))
+        lines.append(f"manifest: {pairs}")
+
+    metrics = bundle["metrics"]
+    histograms = {k: v for k, v in metrics.items()
+                  if v.get("type") == "histogram" and v.get("count", 0) > 0}
+    counters = {k: v for k, v in metrics.items() if v.get("type") == "counter"}
+    gauges = {k: v for k, v in metrics.items() if v.get("type") == "gauge"}
+
+    if histograms:
+        lines.append("")
+        lines.append(f"{'histogram':<44} {'count':>8} {'p50':>12} "
+                     f"{'p90':>12} {'p99':>12}")
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"{name:<44} {h['count']:>8} {h['p50']:>12.6g} "
+                f"{h['p90']:>12.6g} {h['p99']:>12.6g}"
+                + ("  ~" if h.get("approx") else "")
+            )
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<44} {'value':>8}")
+        for name in sorted(counters):
+            lines.append(f"{name:<44} {counters[name]['value']:>8}")
+    if gauges:
+        lines.append("")
+        lines.append(f"{'gauge':<44} {'value':>12}")
+        for name in sorted(gauges):
+            lines.append(
+                f"{name:<44} {_fmt_value(gauges[name]['value']):>12}"
+            )
+
+    drift_gauges = {k: v for k, v in gauges.items()
+                    if ".psi" in k or ".ks" in k or "jaccard" in k}
+    alarms = [e for e in bundle["events"] if e.get("kind") == "drift.alarm"]
+    if drift_gauges or alarms:
+        lines.append("")
+        lines.append(f"drift: {len(alarms)} alarm(s)")
+        for event in alarms[:5]:
+            feats = event.get("features", [])
+            lines.append(
+                f"  alarm from {event.get('source', '?')}: "
+                f"psi_max={_fmt_value(event.get('psi_max', 'n/a'))} "
+                f"features={feats if len(feats) <= 8 else feats[:8] + ['…']}"
+            )
+
+    if bundle["events"]:
+        kinds: dict[str, int] = {}
+        for event in bundle["events"]:
+            kinds[event.get("kind", "?")] = kinds.get(event.get("kind", "?"), 0) + 1
+        lines.append("")
+        lines.append("events: " + ", ".join(
+            f"{kind}×{kinds[kind]}" for kind in sorted(kinds)
+        ))
+    if len(lines) == 1:
+        lines.append("(empty bundle: no metrics, no events)")
+    return "\n".join(lines)
+
+
+def tail_events(run_dir, *, n: int = 20, kind: str | None = None) -> str:
+    """The last ``n`` events of a bundle, newest last, optionally filtered."""
+    if n < 1:
+        raise ValidationError("tail needs n >= 1")
+    events = load_run(run_dir)["events"]
+    if kind is not None:
+        events = [e for e in events if e.get("kind") == kind]
+    if not events:
+        suffix = f" of kind {kind!r}" if kind else ""
+        return f"(no events{suffix})"
+    lines = []
+    for event in events[-n:]:
+        fields = " ".join(
+            f"{k}={_fmt_value(v)}" for k, v in event.items() if k != "kind"
+        )
+        lines.append(f"{event.get('kind', '?'):<24} {fields}")
+    return "\n".join(lines)
+
+
+def _flat_metrics(metrics: dict) -> dict[str, float]:
+    """Flatten a metrics dict to comparable scalars (``name.field``)."""
+    flat: dict[str, float] = {}
+    for name, payload in metrics.items():
+        for field, value in payload.items():
+            if field == "type" or not isinstance(value, (int, float)):
+                continue
+            flat[f"{name}.{field}" if field != "value" else name] = value
+    return flat
+
+
+def diff_runs(run_a, run_b) -> str:
+    """Metric-level diff of two bundles: value A, value B, delta, pct."""
+    flat_a = _flat_metrics(load_run(run_a)["metrics"])
+    flat_b = _flat_metrics(load_run(run_b)["metrics"])
+    keys = sorted(set(flat_a) | set(flat_b))
+    if not keys:
+        return "(no metrics to compare)"
+    lines = [
+        f"A: {os.fspath(run_a)}",
+        f"B: {os.fspath(run_b)}",
+        "",
+        f"{'metric':<44} {'A':>12} {'B':>12} {'delta':>12} {'pct':>8}",
+    ]
+    for key in keys:
+        a, b = flat_a.get(key), flat_b.get(key)
+        if a is None or b is None:
+            side = "only in B" if a is None else "only in A"
+            value = b if a is None else a
+            lines.append(f"{key:<44} {side:>12} {_fmt_value(value):>12}")
+            continue
+        delta = b - a
+        pct = f"{100.0 * delta / a:+.1f}%" if a else "n/a"
+        lines.append(
+            f"{key:<44} {_fmt_value(a):>12} {_fmt_value(b):>12} "
+            f"{_fmt_value(delta):>12} {pct:>8}"
+        )
+    return "\n".join(lines)

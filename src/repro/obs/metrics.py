@@ -6,15 +6,34 @@ numbers — e.g. ``ci_tests_total`` (counter), ``ci_test_seconds`` and
 ``fs_n_variant`` (gauge).  As with tracing, the process-global default is
 :data:`NULL_REGISTRY`, whose metric objects are shared no-ops, so
 instrumentation in hot loops is free when metrics are disabled.
+
+Two properties matter for long-running serve processes:
+
+* **Bounded memory.**  :class:`Histogram` is backed by a
+  :class:`~repro.obs.sketch.QuantileSketch`: exact (bit-identical to the
+  old list-backed percentiles) below a small-n cutoff, then a fixed-size
+  reservoir with exact count/sum/min/max — observing forever never grows
+  the process.
+* **Labeled families.**  Every accessor takes optional keyword labels
+  (``registry.histogram("serve.stage_seconds", stage="scale")``); each
+  distinct label set is its own time series within one named family, the
+  shape Prometheus exposition expects (see ``repro.obs.exporters``).
 """
 
 from __future__ import annotations
 
 import json
 
-import numpy as np
-
+from repro.obs.sketch import QuantileSketch
 from repro.utils.errors import ValidationError
+
+
+def labels_suffix(labels: dict) -> str:
+    """Canonical ``{k=v,...}`` rendering of a label set (sorted, stable)."""
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return "{" + inner + "}"
 
 
 class Counter:
@@ -50,47 +69,45 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming collection of observations with percentile summaries."""
+    """Streaming observations with percentile summaries, in fixed memory.
 
-    __slots__ = ("values",)
+    Exact below the sketch's small-n cutoff; beyond it, quantiles come
+    from a bounded reservoir (documented ~2% rank-error tolerance at the
+    default capacity) while count/sum/mean/min/max stay exact.
+    """
+
+    __slots__ = ("_sketch",)
 
     def __init__(self) -> None:
-        self.values: list[float] = []
+        self._sketch = QuantileSketch()
 
     def observe(self, value: float) -> None:
-        self.values.append(float(value))
+        self._sketch.add(value)
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self._sketch.count
+
+    @property
+    def values(self) -> list[float]:
+        """The retained sample buffer (every value on the exact path)."""
+        return list(self._sketch._values)
+
+    @property
+    def exact(self) -> bool:
+        """True while percentiles are exact (stream below the cutoff)."""
+        return self._sketch.exact
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0–100) of the observations."""
-        if not 0.0 <= q <= 100.0:
-            raise ValidationError("percentile q must be in [0, 100]")
-        if not self.values:
-            return float("nan")
-        return float(np.percentile(self.values, q))
+        return self._sketch.percentile(q)
 
     def summary(self) -> dict:
         """Count, sum, mean, min/max and the standard percentile trio."""
-        if not self.values:
-            return {"count": 0}
-        arr = np.asarray(self.values)
-        p50, p90, p99 = np.percentile(arr, (50, 90, 99))
-        return {
-            "count": int(arr.size),
-            "sum": float(arr.sum()),
-            "mean": float(arr.mean()),
-            "min": float(arr.min()),
-            "max": float(arr.max()),
-            "p50": float(p50),
-            "p90": float(p90),
-            "p99": float(p99),
-        }
+        return self._sketch.summary()
 
     def to_dict(self) -> dict:
-        return {"type": "histogram", **self.summary()}
+        return {"type": "histogram", **self._sketch.to_dict()}
 
 
 class _NullCounter(Counter):
@@ -115,35 +132,65 @@ class _NullHistogram(Histogram):
 
 
 class MetricsRegistry:
-    """Named metric store; metrics are created lazily on first access."""
+    """Named metric store; metrics are created lazily on first access.
+
+    A *family* is every series sharing a metric name; keyword labels
+    select one series within it.  ``counter("x")`` and
+    ``counter("x", tenant="a")`` are two series of family ``x`` and must
+    agree on the metric type.
+    """
 
     enabled = True
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._families: dict[str, type] = {}
+        self._series: dict[str, tuple[str, dict]] = {}
 
-    def _get(self, name: str, cls):
-        metric = self._metrics.get(name)
+    def _get(self, name: str, cls, labels: dict):
+        family_cls = self._families.get(name)
+        if family_cls is None:
+            self._families[name] = cls
+        elif family_cls is not cls:
+            raise ValidationError(
+                f"metric {name!r} already registered as {family_cls.__name__}"
+            )
+        key = name + labels_suffix(labels)
+        metric = self._metrics.get(key)
         if metric is None:
             metric = cls()
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
-            raise ValidationError(
-                f"metric {name!r} already registered as {type(metric).__name__}"
-            )
+            self._metrics[key] = metric
+            self._series[key] = (name, dict(labels))
         return metric
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(name, Counter, labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(name, Gauge, labels)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(name, Histogram, labels)
 
     def names(self) -> list[str]:
+        """Sorted series keys (``family{label=value,...}`` for labeled ones)."""
         return sorted(self._metrics)
+
+    def collect(self) -> list[tuple[str, str, list[tuple[dict, object]]]]:
+        """Family-grouped snapshot: ``(name, type, [(labels, metric), ...])``.
+
+        The shape exporters consume; series within a family keep their
+        registration-independent sorted order.
+        """
+        families: dict[str, list[tuple[dict, object]]] = {}
+        for key in self.names():
+            name, labels = self._series[key]
+            families.setdefault(name, []).append((labels, self._metrics[key]))
+        type_names = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+        return [
+            (name, type_names[self._families[name]], series)
+            for name, series in sorted(families.items())
+        ]
 
     def to_dict(self) -> dict:
         return {name: self._metrics[name].to_dict() for name in self.names()}
@@ -162,13 +209,13 @@ class NullRegistry(MetricsRegistry):
 
     enabled = False
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, **labels) -> Counter:
         return _NULL_COUNTER
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, **labels) -> Gauge:
         return _NULL_GAUGE
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str, **labels) -> Histogram:
         return _NULL_HISTOGRAM
 
 

@@ -1,0 +1,277 @@
+"""Fixed-memory streaming sketches backing the live telemetry plane.
+
+Two sketches, two jobs:
+
+:class:`QuantileSketch`
+    Streaming quantile estimation for latency/score histograms.  Exact
+    below a small-n cutoff (raw values are kept and percentiles match
+    ``np.percentile`` bit for bit), then degrades to a uniform reservoir
+    sample (Vitter's algorithm R, deterministic seed) with exact
+    count / sum / min / max carried alongside.  Memory is bounded by
+    ``capacity`` floats no matter how many observations arrive; the
+    expected rank error of a quantile estimate from a reservoir of size
+    ``k`` is O(1/sqrt(k)) — about 2% at the default ``capacity=4096``
+    (the documented tolerance; ``tests/test_obs_sketch.py`` enforces a
+    conservative bound).
+
+:class:`DistributionSketch`
+    Per-feature binned distribution sketch for streaming drift scores.
+    Bin edges are frozen from a reference sample at construction; live
+    batches update per-feature bin counts with one vectorized
+    ``bincount``; :meth:`psi` / :meth:`ks` score the live window against
+    the reference without ever retaining rows.
+
+Both sketches are deterministic: the reservoir RNG is seeded per sketch
+and never touches numpy's global state or any model RNG stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+__all__ = ["DistributionSketch", "QuantileSketch"]
+
+#: default raw-value cutoff below which percentiles are exact
+EXACT_LIMIT = 4096
+#: default reservoir capacity once the exact cutoff is passed
+CAPACITY = 4096
+
+
+class QuantileSketch:
+    """Bounded-memory stream of observations with quantile estimates.
+
+    Parameters
+    ----------
+    exact_limit:
+        Keep raw values (exact percentiles) up to this many observations.
+    capacity:
+        Reservoir size once the stream outgrows ``exact_limit``.  The
+        switchover downsamples the retained values in place, so memory
+        never exceeds ``max(exact_limit, capacity)`` floats.
+    seed:
+        Seed for the reservoir's private RNG (deterministic replacement
+        decisions; independent of all model RNG streams).
+    """
+
+    __slots__ = ("exact_limit", "capacity", "count", "total",
+                 "minimum", "maximum", "_values", "_rng", "_seed")
+
+    def __init__(
+        self,
+        *,
+        exact_limit: int = EXACT_LIMIT,
+        capacity: int = CAPACITY,
+        seed: int = 0,
+    ) -> None:
+        if exact_limit < 1 or capacity < 1:
+            raise ValidationError("exact_limit and capacity must be >= 1")
+        self.exact_limit = int(exact_limit)
+        self.capacity = int(capacity)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self._values: list[float] = []
+        # the reservoir RNG is constructed lazily, so the exact path
+        # allocates nothing beyond the value list
+        self._rng: random.Random | None = None
+        self._seed = int(seed)
+
+    @property
+    def exact(self) -> bool:
+        """True while percentiles are still computed from every value."""
+        return self.count <= self.exact_limit
+
+    @property
+    def sample_size(self) -> int:
+        """Number of retained values (== count on the exact path)."""
+        return len(self._values)
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the sketch."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if self.count <= self.exact_limit:
+            self._values.append(value)
+            return
+        if self._rng is None:
+            self._switch_to_reservoir()
+        if len(self._values) < self.capacity:  # fill phase
+            self._values.append(value)
+            return
+        # algorithm R: item i (1-based) replaces a random slot w.p. k/i
+        j = self._rng.randrange(self.count)
+        if j < self.capacity:
+            self._values[j] = value
+
+    def _switch_to_reservoir(self) -> None:
+        self._rng = random.Random(self._seed)
+        if len(self._values) > self.capacity:
+            # downsample the exact buffer uniformly to the reservoir size
+            self._values = self._rng.sample(self._values, self.capacity)
+        # from here on the buffer length is frozen at <= capacity
+
+    def percentile(self, q) -> float | np.ndarray:
+        """The ``q``-th percentile (0–100); exact below the cutoff.
+
+        Past the cutoff the estimate comes from the reservoir, except
+        q=0 / q=100 which stay exact (tracked min/max).
+        """
+        q_arr = np.asarray(q, dtype=np.float64)
+        if np.any(q_arr < 0.0) or np.any(q_arr > 100.0):
+            raise ValidationError("percentile q must be in [0, 100]")
+        if self.count == 0:
+            return (float("nan") if q_arr.ndim == 0
+                    else np.full(q_arr.shape, np.nan))
+        # snapshot: a scraping thread may read while the owner appends
+        values = list(self._values)
+        result = np.percentile(values, q_arr)
+        if not self.exact:
+            result = np.where(q_arr <= 0.0, self.minimum, result)
+            result = np.where(q_arr >= 100.0, self.maximum, result)
+        return float(result) if q_arr.ndim == 0 else np.asarray(result)
+
+    def summary(self) -> dict:
+        """Count, sum, mean, exact min/max and the standard percentile trio."""
+        if self.count == 0:
+            return {"count": 0}
+        p50, p90, p99 = np.atleast_1d(self.percentile((50, 90, 99)))
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.total / self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": float(p50),
+            "p90": float(p90),
+            "p99": float(p99),
+        }
+
+    def to_dict(self) -> dict:
+        data = self.summary()
+        if self.count and not self.exact:
+            data["approx"] = True
+            data["sample_size"] = self.sample_size
+        return data
+
+
+class DistributionSketch:
+    """Binned per-feature distributions with streaming PSI / KS scores.
+
+    Parameters
+    ----------
+    reference:
+        2-D reference sample ``(n_ref, n_features)``.  Uniform bin edges
+        per feature are frozen from its min/max (with ``margin`` slack on
+        each side); its binned proportions become the drift baseline.
+    n_bins:
+        Interior bins per feature; out-of-range live values clip into the
+        edge bins, so mass escaping the reference range is still counted.
+    margin:
+        Fractional widening of the reference range on each side.
+    """
+
+    __slots__ = ("n_bins", "n_features", "_lo", "_inv_width", "_ref_probs",
+                 "_counts", "_rows", "_offsets")
+
+    _EPS = 1e-6
+
+    def __init__(self, reference, *, n_bins: int = 16, margin: float = 0.05):
+        reference = np.asarray(reference, dtype=np.float64)
+        if reference.ndim != 2 or reference.shape[0] < 2:
+            raise ValidationError(
+                "DistributionSketch needs a 2-D reference with >= 2 rows"
+            )
+        if n_bins < 2:
+            raise ValidationError("n_bins must be >= 2")
+        self.n_bins = int(n_bins)
+        self.n_features = int(reference.shape[1])
+        lo = reference.min(axis=0)
+        hi = reference.max(axis=0)
+        span = hi - lo
+        span[span == 0.0] = 1.0  # constant feature: single occupied bin
+        lo = lo - margin * span
+        width = span * (1.0 + 2.0 * margin) / self.n_bins
+        self._lo = lo
+        self._inv_width = 1.0 / width
+        self._offsets = (np.arange(self.n_features) * self.n_bins)
+        ref_counts = np.zeros(self.n_features * self.n_bins, dtype=np.int64)
+        self._bincount_into(reference, ref_counts)
+        probs = ref_counts.reshape(self.n_features, self.n_bins).astype(np.float64)
+        probs = (probs + self._EPS) / (probs.sum(axis=1, keepdims=True)
+                                       + self.n_bins * self._EPS)
+        self._ref_probs = probs
+        self._counts = np.zeros(self.n_features * self.n_bins, dtype=np.int64)
+        self._rows = 0
+
+    def _bincount_into(self, X: np.ndarray, counts: np.ndarray) -> None:
+        idx = (X - self._lo) * self._inv_width
+        np.floor(idx, out=idx)
+        np.clip(idx, 0, self.n_bins - 1, out=idx)
+        flat = idx.astype(np.int64) + self._offsets
+        counts += np.bincount(flat.ravel(), minlength=counts.size)
+
+    @property
+    def rows(self) -> int:
+        """Rows folded into the live window since the last decay to zero."""
+        return self._rows
+
+    def update(self, X) -> int:
+        """Fold a live batch into the window; returns total window rows."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features:
+            raise ValidationError(
+                f"expected a 2-D batch with {self.n_features} features"
+            )
+        self._bincount_into(X, self._counts)
+        self._rows += int(X.shape[0])
+        return self._rows
+
+    def decay(self, factor: float = 0.5) -> None:
+        """Exponentially forget the window (sliding-window behaviour)."""
+        if not 0.0 <= factor < 1.0:
+            raise ValidationError("decay factor must be in [0, 1)")
+        self._counts = (self._counts * factor).astype(np.int64)
+        self._rows = int(self._counts.sum() // max(self.n_features, 1))
+
+    def _live_probs(self) -> np.ndarray:
+        live = self._counts.reshape(self.n_features, self.n_bins)
+        totals = live.sum(axis=1, keepdims=True).astype(np.float64)
+        totals[totals == 0.0] = 1.0
+        return (live + self._EPS) / (totals + self.n_bins * self._EPS)
+
+    def psi(self) -> np.ndarray:
+        """Population-stability index per feature (0 = unchanged).
+
+        Conventional reading: < 0.1 stable, 0.1–0.25 moderate shift,
+        > 0.25 major shift (the default alarm threshold downstream).
+        """
+        q = self._live_probs()
+        p = self._ref_probs
+        return np.sum((q - p) * np.log(q / p), axis=1)
+
+    def ks(self) -> np.ndarray:
+        """Binned Kolmogorov–Smirnov distance per feature (max CDF gap)."""
+        q = self._live_probs()
+        p = self._ref_probs
+        return np.max(np.abs(np.cumsum(q, axis=1) - np.cumsum(p, axis=1)),
+                      axis=1)
+
+    def to_dict(self) -> dict:
+        psi = self.psi()
+        return {
+            "rows": self._rows,
+            "n_features": self.n_features,
+            "n_bins": self.n_bins,
+            "psi_max": float(psi.max()) if psi.size else 0.0,
+            "psi_mean": float(psi.mean()) if psi.size else 0.0,
+        }

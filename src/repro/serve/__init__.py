@@ -1,7 +1,13 @@
 """Serving layer: compiled inference plans and the batch-scoring runtime."""
 
 from repro.serve.plan import InferencePlan, clone_rng
-from repro.serve.runtime import load_plan, read_input, run_serve, write_output
+from repro.serve.runtime import (
+    load_plan,
+    read_input,
+    run_serve,
+    stage_summaries,
+    write_output,
+)
 
 __all__ = [
     "InferencePlan",
@@ -9,5 +15,6 @@ __all__ = [
     "load_plan",
     "read_input",
     "run_serve",
+    "stage_summaries",
     "write_output",
 ]

@@ -71,6 +71,7 @@ class InferencePlan:
         self._n_var = int(self._var_idx.shape[0])
 
         self.model = pipeline.model_
+        self.drift_tracker = None
         self._recon = pipeline.reconstructor_.model_
         rng = getattr(self._recon, "_rng", None)
         self._rng = clone_rng(rng) if rng is not None else None
@@ -140,6 +141,16 @@ class InferencePlan:
 
     # -- public surface ------------------------------------------------------
 
+    def attach_drift_tracker(self, tracker) -> "InferencePlan":
+        """Stream every scaled batch into ``tracker`` (see ``repro.obs.drift``).
+
+        The tracker scores the live input distribution against its
+        reference (PSI/KS gauges, ``drift.alarm`` events).  Detach with
+        ``attach_drift_tracker(None)``.
+        """
+        self.drift_tracker = tracker
+        return self
+
     def transform(self, X) -> np.ndarray:
         """Source-like samples in scaled space (the pipeline's Eq. 11 path).
 
@@ -151,14 +162,42 @@ class InferencePlan:
                 f"expected {self._n_features} features, got {X.shape[1]}"
             )
         tracer = get_tracer()
+        registry = get_metrics()
+        if not registry.enabled:  # fast path: spans only
+            with tracer.span("serve.scale", n_samples=X.shape[0]):
+                Xs = self._scale_stage(X)
+            if self.drift_tracker is not None:
+                self.drift_tracker.update(Xs)
+            with tracer.span("serve.split"):
+                X_inv = self._split_stage(Xs)
+            with tracer.span("serve.reconstruct", n_draws=self.n_draws):
+                X_var = self._reconstruct_stage(X_inv)
+            with tracer.span("serve.merge"):
+                return self._merge_stage(X_inv, X_var)
+
+        stage_seconds = registry.histogram  # labeled per-stage latencies
+        t0 = time.perf_counter()
         with tracer.span("serve.scale", n_samples=X.shape[0]):
             Xs = self._scale_stage(X)
+        t1 = time.perf_counter()
+        stage_seconds("serve.stage_seconds", stage="scale").observe(t1 - t0)
+        if self.drift_tracker is not None:
+            self.drift_tracker.update(Xs)
+            t1 = time.perf_counter()
         with tracer.span("serve.split"):
             X_inv = self._split_stage(Xs)
+        t2 = time.perf_counter()
+        stage_seconds("serve.stage_seconds", stage="split").observe(t2 - t1)
         with tracer.span("serve.reconstruct", n_draws=self.n_draws):
             X_var = self._reconstruct_stage(X_inv)
+        t3 = time.perf_counter()
+        stage_seconds("serve.stage_seconds", stage="generate").observe(t3 - t2)
         with tracer.span("serve.merge"):
-            return self._merge_stage(X_inv, X_var)
+            merged = self._merge_stage(X_inv, X_var)
+        stage_seconds("serve.stage_seconds", stage="merge").observe(
+            time.perf_counter() - t3
+        )
+        return merged
 
     def predict_proba(self, X) -> np.ndarray:
         """Class probabilities; bit-identical (float64) to the live pipeline."""
@@ -166,14 +205,18 @@ class InferencePlan:
         t0 = time.perf_counter() if registry.enabled else 0.0
         with get_tracer().span("serve.batch", n_samples=len(X)):
             merged = self.transform(X)
+            t1 = time.perf_counter() if registry.enabled else 0.0
             with get_tracer().span("serve.predict"):
                 proba = self.model.predict_proba(merged)
         if registry.enabled:
+            now = time.perf_counter()
+            registry.histogram("serve.stage_seconds", stage="predict").observe(
+                now - t1
+            )
             registry.counter("serve_batches").inc()
             registry.counter("serve_rows").inc(len(X))
-            registry.histogram("serve_batch_seconds").observe(
-                time.perf_counter() - t0
-            )
+            registry.histogram("serve.latency").observe(now - t0)
+            registry.histogram("serve_batch_seconds").observe(now - t0)
         return proba
 
     def predict(self, X) -> np.ndarray:

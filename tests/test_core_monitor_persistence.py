@@ -79,6 +79,57 @@ class TestDriftMonitor:
             DriftMonitor(fitted_pipeline, min_new_variants=0)
 
 
+class TestMonitorMetricsBridge:
+    def test_observe_publishes_gauges_and_pvalue_summary(
+        self, fitted_pipeline, tiny_5gc
+    ):
+        from repro.obs.metrics import MetricsRegistry, set_metrics
+
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            monitor = DriftMonitor(fitted_pipeline)
+            X_few, _, _, _ = tiny_5gc.few_shot_split(5, random_state=11)
+            report = monitor.observe(X_few)
+        finally:
+            set_metrics(previous)
+        assert registry.counter("monitor.observations_total").value == 1
+        assert registry.gauge("monitor.jaccard").value == report.jaccard
+        assert registry.gauge("monitor.n_variant").value == report.n_variant
+        assert (registry.gauge("monitor.new_variants").value
+                == len(report.new_variant))
+        # per-observation p-value summary
+        p_min = registry.gauge("monitor.p_value_min").value
+        assert 0.0 <= p_min <= registry.gauge("monitor.p_value_median").value
+        assert 0.0 <= registry.gauge("monitor.frac_significant").value <= 1.0
+        drifted_total = registry.counter("monitor.drifted_total").value
+        assert drifted_total == (1 if report.drifted else 0)
+
+    def test_drifted_observation_emits_alarm_event(
+        self, fitted_pipeline, tiny_5gc
+    ):
+        from repro.obs.export import EventLog, set_event_log
+
+        events = EventLog()
+        previous = set_event_log(events)
+        try:
+            # jaccard_threshold=1.0 is invalid; 0.99 + min_new_variants=1
+            # makes almost any batch count as drifted
+            monitor = DriftMonitor(fitted_pipeline, jaccard_threshold=0.99,
+                                   min_new_variants=1)
+            X_few, _, _, _ = tiny_5gc.few_shot_split(10, random_state=99)
+            report = monitor.observe(X_few)
+        finally:
+            set_event_log(previous)
+        kinds = [e["kind"] for e in events.events]
+        assert "drift.observe" in kinds
+        if report.drifted:
+            alarm = next(e for e in events.events
+                         if e["kind"] == "drift.alarm")
+            assert alarm["source"] == "monitor"
+            assert alarm["jaccard"] == report.jaccard
+
+
 class TestAdapterPersistence:
     def test_round_trip_predictions_identical(self, fitted_pipeline, tiny_5gc,
                                               tmp_path):

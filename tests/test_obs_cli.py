@@ -127,6 +127,64 @@ class TestSeedPropagation:
         assert captured["random_state"] == 7, f"{command} dropped --seed"
 
 
+def _write_bundle(run_dir, *, seed=0, jaccard=0.8, with_alarm=False):
+    """A minimal hand-rolled run bundle for the obs subcommand."""
+    run_dir.mkdir(parents=True)
+    (run_dir / "manifest.json").write_text(json.dumps(
+        {"command": "serve", "seed": seed}
+    ))
+    (run_dir / "metrics.json").write_text(json.dumps({
+        "serve_batches": {"type": "counter", "value": 3 + seed},
+        "monitor.jaccard": {"type": "gauge", "value": jaccard},
+        "serve.latency": {
+            "type": "histogram", "count": 3, "sum": 0.3, "mean": 0.1,
+            "min": 0.05, "max": 0.15, "p50": 0.1, "p90": 0.14, "p99": 0.15,
+        },
+    }))
+    events = [{"kind": "serve.batch", "rows": 32}]
+    if with_alarm:
+        events.append({"kind": "drift.alarm", "source": "serve",
+                       "psi_max": 0.4, "features": [2], "rows": 512})
+    (run_dir / "events.jsonl").write_text(
+        "\n".join(json.dumps(e) for e in events) + "\n"
+    )
+
+
+class TestObsSubcommand:
+    def test_summary_renders_bundle(self, tmp_path, capsys):
+        _write_bundle(tmp_path / "run", with_alarm=True)
+        assert cli.main(["obs", "summary", str(tmp_path / "run")]) == 0
+        out = capsys.readouterr().out
+        assert "manifest: command=serve seed=0" in out
+        assert "serve.latency" in out and "serve_batches" in out
+        assert "drift: 1 alarm(s)" in out
+        assert "psi_max=0.4" in out
+
+    def test_tail_filters_by_kind(self, tmp_path, capsys):
+        _write_bundle(tmp_path / "run", with_alarm=True)
+        assert cli.main([
+            "obs", "tail", str(tmp_path / "run"), "--kind", "drift.alarm",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "drift.alarm" in out
+        assert "serve.batch" not in out
+
+    def test_diff_reports_deltas(self, tmp_path, capsys):
+        _write_bundle(tmp_path / "a", seed=0, jaccard=0.8)
+        _write_bundle(tmp_path / "b", seed=1, jaccard=0.6)
+        assert cli.main([
+            "obs", "diff", str(tmp_path / "a"), str(tmp_path / "b"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "monitor.jaccard" in out
+        assert "-25.0%" in out  # 0.8 -> 0.6
+        assert "serve_batches" in out
+
+    def test_missing_bundle_is_an_error(self, tmp_path, capsys):
+        assert cli.main(["obs", "summary", str(tmp_path / "nope")]) == 1
+        assert "no run bundle" in capsys.readouterr().err
+
+
 class TestLoggingFlags:
     def test_log_level_and_verbose_accepted(self, micro_preset, monkeypatch):
         monkeypatch.setattr(cli, "variant_counts", lambda *a, **k: [])

@@ -1,0 +1,177 @@
+"""Streaming drift observability (repro.obs.drift) and plan integration."""
+
+import numpy as np
+import pytest
+
+from repro.core import FSGANPipeline, ReconstructionConfig
+from repro.ml import MLPClassifier
+from repro.obs.drift import FeatureDriftTracker
+from repro.obs.export import EventLog, set_event_log
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture()
+def collectors():
+    """A live registry + event log installed for the duration of one test."""
+    registry = MetricsRegistry()
+    events = EventLog()
+    prev_reg = set_metrics(registry)
+    prev_log = set_event_log(events)
+    try:
+        yield registry, events
+    finally:
+        set_metrics(prev_reg)
+        set_event_log(prev_log)
+
+
+def _reference(rng, n_rows=2000, n_features=4):
+    return rng.standard_normal((n_rows, n_features))
+
+
+class TestFeatureDriftTracker:
+    def test_warmup_returns_none(self, rng, collectors):
+        tracker = FeatureDriftTracker(_reference(rng), min_rows=256)
+        assert tracker.update(rng.standard_normal((100, 4))) is None
+        assert tracker.last_scores is None
+
+    def test_stable_stream_stays_quiet(self, rng, collectors):
+        registry, events = collectors
+        tracker = FeatureDriftTracker(_reference(rng), min_rows=256)
+        for _ in range(8):
+            tracker.update(rng.standard_normal((128, 4)))
+        assert not tracker.alarmed
+        assert tracker.last_scores["psi_max"] < 0.1
+        assert not [e for e in events.events if e["kind"] == "drift.alarm"]
+        assert registry.gauge("serve.psi_max").value < 0.1
+
+    def test_synthetic_drift_alarms_within_k_batches(self, rng, collectors):
+        """The PR's acceptance schedule: stable traffic, then a sustained
+        mean shift — the alarm must fire within K batches of onset."""
+        registry, events = collectors
+        tracker = FeatureDriftTracker(
+            _reference(rng), min_rows=256, window_rows=1024
+        )
+        for _ in range(6):  # pre-drift: in-distribution traffic
+            tracker.update(rng.standard_normal((128, 4)))
+        assert not tracker.alarmed
+        onset = tracker.batches
+        K = 12
+        for _ in range(K):  # drift onset: feature 2 shifts by 2 sigma
+            batch = rng.standard_normal((128, 4))
+            batch[:, 2] += 2.0
+            tracker.update(batch)
+            if tracker.alarmed:
+                break
+        assert tracker.alarmed, f"no alarm within {K} batches of onset"
+        assert tracker.batches - onset <= K
+
+        alarms = [e for e in events.events if e["kind"] == "drift.alarm"]
+        assert len(alarms) == 1
+        assert alarms[0]["source"] == "serve"
+        assert 2 in alarms[0]["features"]
+        assert alarms[0]["psi_max"] > 0.25
+
+        # the gauges carry the live scores
+        assert registry.gauge("serve.psi_max").value > 0.25
+        assert registry.gauge("serve.ks_max").value > 0.0
+        assert registry.gauge("serve.psi", feature=2).value > 0.25
+        assert registry.counter("serve.drift_alarms_total").value == 1
+
+    def test_alarm_clears_on_falling_edge(self, rng, collectors):
+        _, events = collectors
+        tracker = FeatureDriftTracker(
+            _reference(rng), min_rows=128, window_rows=256
+        )
+        for _ in range(4):
+            batch = rng.standard_normal((128, 4))
+            batch[:, 0] += 3.0
+            tracker.update(batch)
+        assert tracker.alarmed
+        # window decays fast (256 rows), so clean traffic clears the alarm
+        for _ in range(40):
+            tracker.update(rng.standard_normal((128, 4)))
+            if not tracker.alarmed:
+                break
+        assert not tracker.alarmed
+        kinds = [e["kind"] for e in events.events]
+        assert kinds.count("drift.alarm") == 1
+        assert kinds.count("drift.clear") == 1
+
+    def test_silent_without_collectors(self, rng):
+        # no registry / event log installed: updates still score, nothing
+        # is published, nothing raises
+        tracker = FeatureDriftTracker(_reference(rng), min_rows=128)
+        batch = rng.standard_normal((256, 4))
+        batch[:, 1] += 3.0
+        scores = tracker.update(batch)
+        assert scores["alarmed"]
+        assert tracker.alarmed
+
+    def test_validation(self, rng):
+        ref = _reference(rng)
+        with pytest.raises(ValidationError):
+            FeatureDriftTracker(ref, psi_threshold=0.0)
+        with pytest.raises(ValidationError):
+            FeatureDriftTracker(ref, min_rows=0)
+        with pytest.raises(ValidationError):
+            FeatureDriftTracker(ref, min_rows=512, window_rows=256)
+
+
+def _fit(tiny_5gc):
+    X_few, _, X_test, _ = tiny_5gc.few_shot_split(5, random_state=0)
+    pipe = FSGANPipeline(
+        lambda: MLPClassifier(hidden_sizes=(16,), epochs=8, random_state=0),
+        reconstruction_config=ReconstructionConfig(
+            strategy="gan", epochs=2, noise_dim=2, hidden_size=8),
+        random_state=0,
+    ).fit(tiny_5gc.X_source, tiny_5gc.y_source, X_few)
+    return pipe, X_test
+
+
+class TestPlanDriftIntegration:
+    def test_compile_track_drift_attaches_tracker(self, tiny_5gc):
+        pipe, X_test = _fit(tiny_5gc)
+        plan = pipe.compile(track_drift=True,
+                            drift_options={"min_rows": 32})
+        assert plan.drift_tracker is not None
+        assert plan.drift_tracker.n_features == X_test.shape[1]
+        plan.predict_proba(X_test[:64])
+        assert plan.drift_tracker.batches == 1
+        assert plan.drift_tracker.last_scores is not None
+
+    def test_tracking_preserves_bit_identity(self, tiny_5gc):
+        pipe, X_test = _fit(tiny_5gc)
+        plan = pipe.compile(track_drift=True,
+                            drift_options={"min_rows": 32})
+        expected = pipe.predict_proba(X_test[:48])
+        np.testing.assert_array_equal(plan.predict_proba(X_test[:48]),
+                                      expected)
+
+    def test_released_cache_falls_back_to_persisted_reference(self, tiny_5gc):
+        pipe, X_test = _fit(tiny_5gc)
+        pipe.release_training_cache()
+        plan = pipe.compile(track_drift=True, drift_options={"min_rows": 32})
+        assert plan.drift_tracker is not None
+        plan.predict_proba(X_test[:64])
+        assert plan.drift_tracker.last_scores is not None
+
+    def test_compile_track_drift_needs_some_reference(self, tiny_5gc):
+        pipe, _ = _fit(tiny_5gc)
+        pipe.release_training_cache()
+        pipe.drift_reference_ = None  # a legacy artifact restores to this
+        with pytest.raises(ValidationError, match="drift reference"):
+            pipe.compile(track_drift=True)
+
+    def test_instrumented_transform_matches_fast_path(self, tiny_5gc):
+        # the metrics-enabled branch of InferencePlan.transform must not
+        # perturb the numbers the fast path produces
+        pipe, X_test = _fit(tiny_5gc)
+        expected = pipe.compile().predict_proba(X_test[:32])
+        plan = pipe.compile()
+        previous = set_metrics(MetricsRegistry())
+        try:
+            got = plan.predict_proba(X_test[:32])
+        finally:
+            set_metrics(previous)
+        np.testing.assert_array_equal(got, expected)

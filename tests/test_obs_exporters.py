@@ -1,0 +1,152 @@
+"""Tests for the exporters package (Prometheus endpoint, snapshots)."""
+
+import urllib.request
+
+import pytest
+
+from repro.obs.exporters import (
+    PrometheusExporter,
+    SnapshotWriter,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.utils.errors import ValidationError
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("serve_batches").inc(3)
+    reg.gauge("serve.psi_max").set(0.125)
+    reg.histogram("serve.latency").observe(0.025)
+    reg.histogram("serve.stage_seconds", stage="scale").observe(0.001)
+    return reg
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("serve.latency") == "serve_latency"
+
+    def test_leading_digit_gets_prefix(self):
+        assert sanitize_metric_name("5gc.rate") == "_5gc_rate"
+
+
+class TestRenderPrometheus:
+    def test_golden_exposition(self):
+        # the full text-format output, frozen: counters and gauges map
+        # directly, histograms export as summaries with quantile series;
+        # families sort by raw (pre-sanitization) name
+        text = render_prometheus(_populated_registry())
+        assert text == (
+            "# TYPE serve_latency summary\n"
+            'serve_latency{quantile="0.5"} 0.025\n'
+            'serve_latency{quantile="0.9"} 0.025\n'
+            'serve_latency{quantile="0.99"} 0.025\n'
+            "serve_latency_sum 0.025\n"
+            "serve_latency_count 1\n"
+            "# TYPE serve_psi_max gauge\n"
+            "serve_psi_max 0.125\n"
+            "# TYPE serve_stage_seconds summary\n"
+            'serve_stage_seconds{quantile="0.5",stage="scale"} 0.001\n'
+            'serve_stage_seconds{quantile="0.9",stage="scale"} 0.001\n'
+            'serve_stage_seconds{quantile="0.99",stage="scale"} 0.001\n'
+            'serve_stage_seconds_sum{stage="scale"} 0.001\n'
+            'serve_stage_seconds_count{stage="scale"} 1\n'
+            "# TYPE serve_batches counter\n"
+            "serve_batches 3\n"
+        )
+
+    def test_unset_gauge_has_no_sample_line(self):
+        reg = MetricsRegistry()
+        reg.gauge("pending")
+        assert render_prometheus(reg) == "# TYPE pending gauge\n"
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", path='a"b').inc()
+        assert 'path="a\\"b"' in render_prometheus(reg)
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestPrometheusExporter:
+    def test_http_endpoint_serves_text_format(self):
+        reg = _populated_registry()
+        with PrometheusExporter(reg, port=0) as exporter:
+            with urllib.request.urlopen(exporter.url, timeout=5) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"].startswith(
+                    "text/plain; version=0.0.4"
+                )
+                body = resp.read().decode()
+        assert body == render_prometheus(reg)
+        assert 'serve_latency{quantile="0.5"}' in body
+
+    def test_unknown_path_is_404(self):
+        with PrometheusExporter(MetricsRegistry(), port=0) as exporter:
+            url = exporter.url.replace("/metrics", "/nope")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(url, timeout=5)
+            assert err.value.code == 404
+
+    def test_double_start_rejected(self):
+        exporter = PrometheusExporter(MetricsRegistry(), port=0).start()
+        try:
+            with pytest.raises(ValidationError):
+                exporter.start()
+        finally:
+            exporter.stop()
+
+    def test_stop_is_idempotent(self):
+        exporter = PrometheusExporter(MetricsRegistry(), port=0)
+        exporter.start()
+        exporter.stop()
+        exporter.stop()
+        assert not exporter.running
+
+
+class TestSnapshotWriter:
+    def test_jsonl_round_trip(self, tmp_path):
+        reg = _populated_registry()
+        path = tmp_path / "metrics.jsonl"
+        writer = SnapshotWriter(path, registry=reg)
+        writer.write()
+        reg.counter("serve_batches").inc()
+        writer.write()
+        snaps = SnapshotWriter.read(path)
+        assert [s["snapshot"] for s in snaps] == [0, 1]
+        assert snaps[0]["metrics"]["serve_batches"]["value"] == 3
+        assert snaps[1]["metrics"]["serve_batches"]["value"] == 4
+        assert snaps[0]["metrics"]["serve.latency"]["count"] == 1
+
+    def test_csv_round_trip(self, tmp_path):
+        reg = _populated_registry()
+        path = tmp_path / "metrics.csv"
+        writer = SnapshotWriter(path, registry=reg)
+        writer.write()
+        writer.write()
+        snaps = SnapshotWriter.read(path)
+        assert len(snaps) == 2
+        assert snaps[0]["metrics"]["serve_batches"]["value"] == 3
+        assert snaps[0]["metrics"]["serve.psi_max"]["value"] == 0.125
+
+    def test_periodic_thread_appends(self, tmp_path):
+        import time
+
+        reg = _populated_registry()
+        path = tmp_path / "metrics.jsonl"
+        with SnapshotWriter(path, registry=reg, interval=0.05):
+            time.sleep(0.2)
+        snaps = SnapshotWriter.read(path)
+        # several periodic snapshots plus the final one on clean exit
+        assert len(snaps) >= 2
+        assert snaps[-1]["snapshot"] == len(snaps) - 1
+
+    def test_bad_fmt_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            SnapshotWriter(tmp_path / "x.jsonl", fmt="yaml")
+
+    def test_start_without_interval_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            SnapshotWriter(tmp_path / "x.jsonl").start()

@@ -100,6 +100,77 @@ class TestRegistry:
         assert data["h"]["type"] == "histogram" and data["h"]["count"] == 1
 
 
+class TestBoundedHistogram:
+    def test_memory_bounded_past_cutoff(self):
+        h = Histogram()
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.count == 10_000
+        assert len(h.values) <= 4096
+        assert not h.exact
+
+    def test_exact_below_cutoff(self):
+        h = Histogram()
+        for v in range(100):
+            h.observe(float(v))
+        assert h.exact
+        assert h.values == [float(v) for v in range(100)]
+
+    def test_approx_summary_flags_itself(self):
+        h = Histogram()
+        for v in range(5000):
+            h.observe(float(v))
+        d = h.to_dict()
+        assert d["type"] == "histogram"
+        assert d["approx"] is True
+        # exact even in reservoir mode
+        assert d["min"] == 0.0 and d["max"] == 4999.0
+        assert d["count"] == 5000 and d["sum"] == sum(range(5000))
+
+
+class TestLabeledFamilies:
+    def test_labels_create_distinct_series(self):
+        reg = MetricsRegistry()
+        a = reg.histogram("stage_seconds", stage="scale")
+        b = reg.histogram("stage_seconds", stage="merge")
+        assert a is not b
+        assert reg.histogram("stage_seconds", stage="scale") is a
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        assert (reg.counter("hits", a=1, b=2)
+                is reg.counter("hits", b=2, a=1))
+
+    def test_type_conflict_across_labels_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x", stage="scale")
+        with pytest.raises(ValidationError):
+            reg.gauge("x", stage="merge")
+
+    def test_collect_groups_series_by_family(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", path="/a").inc(1)
+        reg.counter("hits", path="/b").inc(2)
+        reg.gauge("depth").set(3.0)
+        collected = reg.collect()
+        assert [(family, type_name) for family, type_name, _ in collected] == [
+            ("depth", "gauge"), ("hits", "counter")
+        ]
+        hits = dict(
+            (labels["path"], metric.value)
+            for labels, metric in collected[1][2]
+        )
+        assert hits == {"/a": 1, "/b": 2}
+        # the gauge's single unlabeled series
+        assert collected[0][2][0][0] == {}
+
+    def test_labeled_series_serialize_with_suffix(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", path="/a").inc()
+        data = json.loads(reg.to_json())
+        assert data["hits{path=/a}"] == {"type": "counter", "value": 1}
+
+
 class TestNullRegistry:
     def test_default_global_is_null(self):
         assert get_metrics() is NULL_REGISTRY
@@ -113,8 +184,9 @@ class TestNullRegistry:
         assert reg.counter("a").value == 0
         assert reg.gauge("b").value is None
         assert reg.histogram("c").count == 0
-        # shared singletons: no allocation per call site
+        # shared singletons: no allocation per call site, labels included
         assert reg.counter("a") is reg.counter("zzz")
+        assert reg.histogram("c", stage="scale") is reg.histogram("c")
 
     def test_set_metrics_installs_and_restores(self):
         reg = MetricsRegistry()

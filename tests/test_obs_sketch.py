@@ -1,0 +1,139 @@
+"""Tests for the bounded streaming sketches (repro.obs.sketch)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.sketch import DistributionSketch, QuantileSketch
+from repro.utils.errors import ValidationError
+
+
+class TestQuantileSketchExactPath:
+    def test_small_n_is_exact(self):
+        sk = QuantileSketch()
+        values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6]
+        for v in values:
+            sk.add(v)
+        assert sk.exact
+        for q in (0, 10, 25, 50, 75, 90, 100):
+            assert sk.percentile(q) == float(np.percentile(values, q))
+
+    def test_count_sum_min_max(self):
+        sk = QuantileSketch()
+        for v in (2.0, -1.0, 5.0):
+            sk.add(v)
+        assert sk.count == 3
+        assert sk.total == 6.0
+        assert sk.minimum == -1.0
+        assert sk.maximum == 5.0
+
+    def test_empty_percentile_is_nan(self):
+        assert math.isnan(QuantileSketch().percentile(50))
+
+    def test_percentile_bounds_validated(self):
+        sk = QuantileSketch()
+        sk.add(1.0)
+        with pytest.raises(ValidationError):
+            sk.percentile(-1)
+        with pytest.raises(ValidationError):
+            sk.percentile(100.5)
+
+
+class TestQuantileSketchReservoir:
+    def test_memory_stays_bounded(self):
+        sk = QuantileSketch(exact_limit=100, capacity=100, seed=0)
+        for v in range(100_000):
+            sk.add(float(v))
+        assert not sk.exact
+        assert sk.count == 100_000
+        assert sk.sample_size <= 100
+
+    def test_extremes_stay_exact_past_cutoff(self):
+        sk = QuantileSketch(exact_limit=50, capacity=50, seed=0)
+        for v in range(10_000):
+            sk.add(float(v))
+        assert sk.percentile(0) == 0.0
+        assert sk.percentile(100) == 9999.0
+
+    def test_quantile_error_bound(self):
+        # rank error of a k-sample reservoir is O(1/sqrt(k)); at the
+        # default capacity 4096 the documented expectation is ~2% of
+        # rank — enforced here as a conservative 3% bound against the
+        # exact quantiles of a known stream.
+        rng = np.random.default_rng(7)
+        values = rng.standard_normal(200_000)
+        sk = QuantileSketch(seed=0)  # defaults: exact_limit=capacity=4096
+        for v in values:
+            sk.add(float(v))
+        n = len(values)
+        ordered = np.sort(values)
+        for q in (10, 50, 90, 99):
+            approx = sk.percentile(q)
+            # convert the value error back into rank space
+            rank = np.searchsorted(ordered, approx) / n
+            assert abs(rank - q / 100) < 0.03, f"p{q}: rank off by {rank - q / 100}"
+
+    def test_deterministic_given_seed(self):
+        def build():
+            sk = QuantileSketch(exact_limit=64, capacity=64, seed=42)
+            for v in range(5000):
+                sk.add(float(v))
+            return sk
+
+        assert build().percentile(50) == build().percentile(50)
+
+    def test_to_dict_flags_approximation(self):
+        sk = QuantileSketch(exact_limit=10, capacity=10, seed=0)
+        for v in range(8):
+            sk.add(float(v))
+        assert "approx" not in sk.to_dict()
+        for v in range(100):
+            sk.add(float(v))
+        d = sk.to_dict()
+        assert d["approx"] is True
+        assert d["sample_size"] <= 10
+        assert d["count"] == 108
+
+
+class TestDistributionSketch:
+    def test_no_drift_gives_small_psi(self, rng):
+        ref = rng.standard_normal((2000, 4))
+        sk = DistributionSketch(ref)
+        sk.update(rng.standard_normal((2000, 4)))
+        psi = sk.psi()
+        assert psi.shape == (4,)
+        assert np.all(psi < 0.1)
+
+    def test_shift_raises_psi_on_affected_feature_only(self, rng):
+        ref = rng.standard_normal((2000, 3))
+        sk = DistributionSketch(ref)
+        live = rng.standard_normal((2000, 3))
+        live[:, 1] += 2.0  # shift feature 1 by 2 sigma
+        sk.update(live)
+        psi = sk.psi()
+        assert psi[1] > 0.25
+        assert psi[0] < 0.1 and psi[2] < 0.1
+
+    def test_ks_tracks_shift(self, rng):
+        ref = rng.standard_normal((2000, 2))
+        sk = DistributionSketch(ref)
+        live = rng.standard_normal((1000, 2))
+        live[:, 0] += 1.5
+        sk.update(live)
+        ks = sk.ks()
+        assert ks[0] > ks[1]
+        assert ks[0] > 0.3
+
+    def test_decay_halves_window(self, rng):
+        sk = DistributionSketch(rng.standard_normal((500, 2)))
+        sk.update(rng.standard_normal((400, 2)))
+        before = sk.rows
+        sk.decay(0.5)
+        # per-bin integer truncation can drop a few rows below the half
+        assert sk.rows == pytest.approx(before / 2, abs=sk.n_bins)
+
+    def test_rejects_wrong_width(self, rng):
+        sk = DistributionSketch(rng.standard_normal((100, 3)))
+        with pytest.raises(ValidationError):
+            sk.update(rng.standard_normal((10, 4)))

@@ -175,6 +175,50 @@ class TestServeRuntime:
         got = np.load(tmp_path / "scores.npz")["proba"]
         np.testing.assert_array_equal(got, expected)
 
+    def test_run_serve_reports_stage_percentiles(self, tiny_5gc, tmp_path):
+        pipe, X_test = _fit(tiny_5gc)
+        save_artifact(pipe, tmp_path / "pipe.npz")
+        np.save(tmp_path / "batch.npy", X_test[:16])
+        summary = run_serve(
+            tmp_path / "pipe.npz", tmp_path / "batch.npy", repeat=3
+        )
+        assert summary["repeat"] == 3
+        # every pipeline stage observed once per pass
+        assert set(summary["stages"]) == {
+            "scale", "split", "generate", "merge", "predict"
+        }
+        for stage in summary["stages"].values():
+            assert stage["count"] == 3
+            assert 0.0 <= stage["p50"] <= stage["p90"] <= stage["p99"]
+        assert summary["latency"]["count"] == 3
+
+    def test_run_serve_with_exporters_and_drift(self, tiny_5gc, tmp_path):
+        pipe, X_test = _fit(tiny_5gc)
+        save_artifact(pipe, tmp_path / "pipe.npz")
+        # a strongly shifted batch so drift scores are unambiguous
+        batch = X_test[:200].copy()
+        batch[:, :] += 5.0
+        np.save(tmp_path / "batch.npy", batch)
+        snapshot_path = tmp_path / "metrics.jsonl"
+
+        summary = run_serve(
+            tmp_path / "pipe.npz", tmp_path / "batch.npy",
+            repeat=2, track_drift=True, prom_port=0,
+            snapshot_path=snapshot_path,
+        )
+        assert summary["prometheus"].startswith("http://127.0.0.1:")
+        assert "drift" in summary
+        assert summary["drift"]["psi_max"] > 0.25
+        assert summary["drift"]["alarmed"]
+
+        from repro.obs.exporters import SnapshotWriter
+
+        snaps = SnapshotWriter.read(snapshot_path)
+        assert snaps, "snapshot writer produced no snapshots"
+        final = snaps[-1]["metrics"]
+        assert final["serve.latency"]["count"] == 2
+        assert final["serve.psi_max"]["value"] > 0.25
+
 
 _CHILD = """
 import sys
