@@ -20,14 +20,23 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
+import os
 import sys
 
+try:  # the gated ratio list lives in the suite registry
+    from repro.experiments.bench_registry import REGRESSION_RATIO_FIELDS
+except ImportError:  # CI invokes this script without PYTHONPATH=src
+    sys.path.insert(
+        0,
+        os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), os.pardir, os.pardir, "src"
+        ),
+    )
+    from repro.experiments.bench_registry import REGRESSION_RATIO_FIELDS
+
 #: (label, path into the record) for every ratio worth gating
-RATIO_FIELDS = (
-    ("speedup", ("speedup",)),
-    ("serve.speedup", ("serve", "speedup")),
-    ("float32.speedup_vs_float64", ("float32", "speedup_vs_float64")),
-)
+RATIO_FIELDS = REGRESSION_RATIO_FIELDS
 
 
 def _dig(record: dict, path: tuple) -> float | None:
@@ -36,10 +45,20 @@ def _dig(record: dict, path: tuple) -> float | None:
         if not isinstance(node, dict) or key not in node:
             return None
         node = node[key]
-    return float(node) if isinstance(node, (int, float)) else None
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
 
 
 def _ratios(record: dict) -> dict[str, float]:
+    """Gateable ratios of one record; malformed records yield no ratios.
+
+    A record that is not a dict (hand-edited file, schema drift) or whose
+    ratio is non-numeric simply contributes nothing — the caller reports a
+    skip instead of crashing the gate.
+    """
+    if not isinstance(record, dict):
+        return {}
     out = {}
     for label, path in RATIO_FIELDS:
         value = _dig(record, path)
@@ -63,11 +82,23 @@ def compare(baseline: dict, fresh: dict, *, tolerance: float) -> list[str]:
     for key in shared:
         base_ratios = _ratios(base_records[key])
         fresh_ratios = _ratios(fresh_records[key])
+        if not base_ratios:
+            print(f"  [skip] {key}: no gateable ratios in baseline record")
+            continue
         for label in sorted(base_ratios):
             if label not in fresh_ratios:
                 print(f"  [skip] {key} {label}: missing in fresh record")
                 continue
             base, got = base_ratios[label], fresh_ratios[label]
+            if not math.isfinite(base) or base <= 0.0:
+                # a zero/inf baseline ratio means a zero `before` timing was
+                # recorded; there is no meaningful floor to enforce
+                print(f"  [skip] {key} {label}: "
+                      f"baseline ratio {base!r} is not gateable")
+                continue
+            if not math.isfinite(got):
+                print(f"  [skip] {key} {label}: fresh ratio {got!r} is not finite")
+                continue
             floor = base * (1.0 - tolerance)
             verdict = "ok" if got >= floor else "REGRESSION"
             print(f"  [{verdict}] {key} {label}: "

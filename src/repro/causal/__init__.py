@@ -11,6 +11,14 @@ from repro.causal.engine import (
     batch_ks_pvalues,
     batch_welch_t_pvalues,
     combined_invariance_pvalues,
+    rank_candidates,
+    resolve_n_jobs,
+)
+from repro.causal.shm import (
+    SHM_AVAILABLE,
+    SharedMatrices,
+    attach_arrays,
+    create_shared_matrices,
 )
 from repro.causal.fnode import (
     F_NODE,
@@ -25,9 +33,15 @@ __all__ = [
     "CIEngine",
     "CausalGraph",
     "F_NODE",
+    "SHM_AVAILABLE",
+    "SharedMatrices",
+    "attach_arrays",
     "batch_ks_pvalues",
     "batch_welch_t_pvalues",
     "combined_invariance_pvalues",
+    "create_shared_matrices",
+    "rank_candidates",
+    "resolve_n_jobs",
     "FNodeDiscovery",
     "FNodeResult",
     "PCResult",

@@ -9,12 +9,29 @@ performance layer behind :class:`repro.causal.FNodeDiscovery`:
   column axis — on drifted data most features clear immediately, so this
   single sweep removes the bulk of the per-feature Python-loop iterations.
 - :meth:`CIEngine.conditional_pvalues` serves the conditional tests with a
-  per-conditioning-tuple cache of design matrices and Cholesky factors, a
-  single multi-RHS ridge solve per tuple (betas for all features at once),
-  and batched residual statistics per subset level.
+  per-conditioning-tuple cache of design matrices and Cholesky factors and
+  a per-``(tuple, feature)`` ridge solve: each beta is one ``cho_solve``
+  over a single right-hand side, so the per-tuple cost no longer scales
+  with the total feature count (the PR-2 multi-RHS solve computed betas
+  for *all* features per tuple — ``O(n·d)`` waste per subset at the
+  442-feature width; the frozen ``multi_rhs=True`` mode keeps that exact
+  computation as a benchmark baseline).
+- ``stats_dtype="float32"`` runs the whole statistics path — design
+  matrices, Cholesky factors, residuals, batched test statistics — in
+  float32, then re-verifies every p-value within ``verify_margin`` of the
+  decision threshold in float64, so variant *decisions* match the float64
+  path (see EXPERIMENTS.md for the policy).
+- :meth:`CIEngine.search_feature` supports candidate-pool pruning (a
+  primary pool searched first, an optional fallback pool searched only if
+  the primary pool never separates the feature — decision-exact, see
+  :class:`repro.causal.FNodeDiscovery`) and anytime budgets (test-count
+  and wall-clock) with sequential-equivalent test accounting.
 - :func:`search_chunk_worker` is the process-pool entry point used by
-  ``FNodeDiscovery(n_jobs=...)``; each worker builds its own engine over the
-  shared matrices, so serial and parallel runs are bit-identical.
+  ``FNodeDiscovery(n_jobs=...)``; workers attach the matrices zero-copy
+  from shared memory (:mod:`repro.causal.shm`) or, as a fallback, receive
+  them pickled once per worker — either way each worker builds its own
+  engine over the same matrices, so serial and parallel runs are
+  bit-identical.
 
 The batched statistics replicate :func:`scipy.stats.ttest_ind`
 (``equal_var=False``) and :func:`scipy.stats.ks_2samp` (``method="asymp"``)
@@ -31,11 +48,14 @@ from itertools import combinations
 
 import numpy as np
 from scipy import stats
-from scipy.linalg import cho_factor, cho_solve
+from scipy.linalg import LinAlgError, cho_factor, cho_solve
 
 from repro.utils.errors import ValidationError
 
 DEFAULT_RIDGE = 1e-3
+
+#: supported statistics dtypes (FSConfig.stats_dtype)
+STATS_DTYPES = ("float64", "float32")
 
 #: one log row per counted CI test: (cond_size, p_value, seconds)
 TestLog = list
@@ -58,12 +78,21 @@ def batch_welch_t_pvalues(A: np.ndarray, B: np.ndarray) -> np.ndarray:
         return 2.0 * stats.t.sf(np.abs(t), df)
 
 
-def batch_ks_pvalues(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+def batch_ks_pvalues(
+    A: np.ndarray, B: np.ndarray, *, exact: bool = True
+) -> np.ndarray:
     """Two-sample KS asymptotic p-value per column, as ``ks_2samp(method="asymp")``.
 
     The D statistics are computed with the same searchsorted construction as
-    scipy (bit-identical); the p-value is the Kolmogorov-Smirnov survival
-    function at the scipy-rounded effective sample size.
+    scipy (bit-identical); with ``exact=True`` the p-value is the
+    Kolmogorov-Smirnov survival function at the scipy-rounded effective
+    sample size — bit-identical to scipy, but at few-shot sample sizes that
+    routes into scipy's exact small-``n`` Pomeranz evaluation, which
+    dominates discovery wall-clock.  ``exact=False`` (the float32 fast
+    path) evaluates the limiting Kolmogorov distribution at the
+    Stephens-corrected argument instead — within ~1e-3 of the exact tail
+    for the sample sizes used here, orders of magnitude cheaper, and always
+    paired with a float64 exact re-check of near-threshold p-values.
     """
     n1, n2 = A.shape[0], B.shape[0]
     a = np.sort(A, axis=0)
@@ -77,19 +106,25 @@ def batch_ks_pvalues(A: np.ndarray, B: np.ndarray) -> np.ndarray:
         d[k] = max(np.clip(-diffs.min(), 0, 1), diffs.max())
     big, small = float(max(n1, n2)), float(min(n1, n2))
     en = big * small / (big + small)
-    return np.clip(stats.kstwo.sf(d, np.round(en)), 0.0, 1.0)
+    if exact:
+        return np.clip(stats.kstwo.sf(d, np.round(en)), 0.0, 1.0)
+    root = np.sqrt(en)
+    return np.clip(stats.kstwobign.sf((root + 0.12 + 0.11 / root) * d), 0.0, 1.0)
 
 
-def combined_invariance_pvalues(res_s: np.ndarray, res_t: np.ndarray) -> np.ndarray:
+def combined_invariance_pvalues(
+    res_s: np.ndarray, res_t: np.ndarray, *, ks_exact: bool = True
+) -> np.ndarray:
     """Bonferroni-combined Welch-t + KS p-value per residual column.
 
     Column-wise replica of the combination logic in
     :func:`repro.causal.ci_tests.regression_invariance_test`: non-finite
     component p-values are dropped, ``min(1, min(p) * n_valid)`` combines the
     survivors, and columns constant in both domains compare the constants.
+    ``ks_exact`` is forwarded to :func:`batch_ks_pvalues`.
     """
     p_t = batch_welch_t_pvalues(res_s, res_t)
-    p_ks = batch_ks_pvalues(res_s, res_t)
+    p_ks = batch_ks_pvalues(res_s, res_t, exact=ks_exact)
     P = np.stack([p_t, p_ks])
     finite = np.isfinite(P)
     n_valid = finite.sum(axis=0)
@@ -98,20 +133,61 @@ def combined_invariance_pvalues(res_s: np.ndarray, res_t: np.ndarray) -> np.ndar
         out = np.where(n_valid == 0, 1.0, np.minimum(1.0, p_min * n_valid))
     both_const = (res_s.std(axis=0) == 0) & (res_t.std(axis=0) == 0)
     if np.any(both_const):
-        agree = np.isclose(res_s.mean(axis=0), res_t.mean(axis=0))
+        agree = np.isclose(
+            res_s.mean(axis=0, dtype=np.float64),
+            res_t.mean(axis=0, dtype=np.float64),
+        )
         out = np.where(both_const, np.where(agree, 1.0, 0.0), out)
     return out
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
-    """Normalize an ``n_jobs`` setting to a concrete worker count."""
+    """Normalize an ``n_jobs`` setting to a concrete worker count.
+
+    ``None`` and ``1`` mean serial; ``-1`` means one worker per available
+    core.  Everything else must be a positive integer — ``0`` and negative
+    values other than ``-1`` have no meaningful worker-count reading and are
+    rejected rather than silently clamped.
+    """
+    if isinstance(n_jobs, bool):
+        raise ValidationError(
+            f"n_jobs must be a positive integer or -1 (all cores), got {n_jobs!r}"
+        )
     if n_jobs is None or n_jobs == 1:
         return 1
     if n_jobs == -1:
         return max(1, os.cpu_count() or 1)
     if not isinstance(n_jobs, (int, np.integer)) or n_jobs < 1:
-        raise ValidationError("n_jobs must be a positive int or -1 (all cores)")
+        raise ValidationError(
+            "n_jobs must be a positive integer or -1 (all cores), got "
+            f"{n_jobs!r}; 0 and negative values other than -1 do not describe "
+            "a worker count"
+        )
     return int(n_jobs)
+
+
+def rank_candidates(
+    corr_row: np.ndarray, marginal_p: np.ndarray, candidates: tuple[int, ...]
+) -> tuple[int, ...]:
+    """Order conditioning candidates by marginal-association effect size.
+
+    A candidate is a promising conditioner for feature ``j`` when it is both
+    strongly correlated with ``j`` (it proxies a parent) and itself
+    marginally drifted (conditioning on a shifted parent is what separates a
+    drifted *child* from the F-node).  The score multiplies the absolute
+    source correlation by a drift weight in [1, 2] derived from the
+    candidate's own marginal p-value; ties break on the original candidate
+    order (stable sort), so the ranking is deterministic.
+    """
+    if len(candidates) <= 1:
+        return candidates
+    idx = np.asarray(candidates, dtype=np.int64)
+    with np.errstate(invalid="ignore"):
+        corr_abs = np.abs(corr_row[idx])
+    corr_abs = np.where(np.isfinite(corr_abs), corr_abs, 0.0)
+    drift = 2.0 - np.clip(marginal_p[idx], 0.0, 1.0)
+    order = np.argsort(-(corr_abs * drift), kind="stable")
+    return tuple(int(idx[i]) for i in order)
 
 
 class CIEngine:
@@ -119,48 +195,163 @@ class CIEngine:
 
     The matrices are converted/validated once at construction; every repeated
     cost in the discovery inner loop — design-matrix assembly, Gram matrix,
-    Cholesky factorization, the multi-RHS ridge solve — is cached keyed by
+    Cholesky factorization, the per-feature ridge solve — is cached keyed by
     the conditioning column tuple, so repeated subsets (common when features
     share correlated parents) are nearly free.
+
+    Parameters
+    ----------
+    stats_dtype:
+        ``"float64"`` (exact) or ``"float32"``: run the statistics path in
+        single precision.  With ``verify_alpha`` set, any p-value within
+        ``verify_margin`` of it is recomputed in float64 and substituted, so
+        threshold decisions match the float64 path.
+    verify_alpha / verify_margin:
+        Decision threshold and verification band for the float32 path.
+        ``verify_margin`` defaults to ``verify_alpha / 2``.
+    multi_rhs:
+        Frozen PR-2 solve mode: one multi-RHS ``cho_solve`` per conditioning
+        tuple, computing betas for **all** features at once.  Kept as the
+        benchmark baseline (its per-tuple cost scales with the feature
+        count); float64 only.
     """
 
-    def __init__(self, X_source, X_target, *, ridge: float = DEFAULT_RIDGE) -> None:
-        self.Xs = np.ascontiguousarray(X_source, dtype=np.float64)
-        self.Xt = np.ascontiguousarray(X_target, dtype=np.float64)
-        if self.Xs.ndim != 2 or self.Xt.ndim != 2:
+    def __init__(
+        self,
+        X_source,
+        X_target,
+        *,
+        ridge: float = DEFAULT_RIDGE,
+        stats_dtype: str = "float64",
+        verify_alpha: float | None = None,
+        verify_margin: float | None = None,
+        multi_rhs: bool = False,
+    ) -> None:
+        self.Xs64 = np.ascontiguousarray(X_source, dtype=np.float64)
+        self.Xt64 = np.ascontiguousarray(X_target, dtype=np.float64)
+        if self.Xs64.ndim != 2 or self.Xt64.ndim != 2:
             raise ValidationError("CIEngine expects 2-D matrices")
-        if self.Xs.shape[1] != self.Xt.shape[1]:
+        if self.Xs64.shape[1] != self.Xt64.shape[1]:
             raise ValidationError("domains disagree on feature count")
+        if stats_dtype not in STATS_DTYPES:
+            raise ValidationError(
+                f"stats_dtype must be one of {STATS_DTYPES}, got {stats_dtype!r}"
+            )
+        if multi_rhs and stats_dtype != "float64":
+            raise ValidationError("multi_rhs mode supports float64 only")
         self.ridge = float(ridge)
-        self._designs: dict[tuple[int, ...], tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self.stats_dtype = np.dtype(stats_dtype)
+        self.multi_rhs = bool(multi_rhs)
+        if self.stats_dtype == np.float64:
+            self.Xs, self.Xt = self.Xs64, self.Xt64
+        else:
+            self.Xs = self.Xs64.astype(self.stats_dtype)
+            self.Xt = self.Xt64.astype(self.stats_dtype)
+        self.verify_alpha = None if verify_alpha is None else float(verify_alpha)
+        if verify_margin is None:
+            verify_margin = (self.verify_alpha or 0.0) / 2.0
+        self.verify_margin = float(verify_margin)
+        self._verify_engine: CIEngine | None = None
+        # cols -> (Zs, Zt, factor) in single-RHS mode, (Zs, Zt, B) in multi
+        self._designs: dict[tuple[int, ...], tuple] = {}
+        self._betas: dict[tuple[int, ...], dict[int, np.ndarray]] = {}
         self._marginal: np.ndarray | None = None
 
     @property
     def n_features(self) -> int:
-        return int(self.Xs.shape[1])
+        return int(self.Xs64.shape[1])
+
+    # -- float64 verification ------------------------------------------------
+
+    @property
+    def _verifies(self) -> bool:
+        return self.stats_dtype == np.float32 and self.verify_alpha is not None
+
+    def _verifier(self) -> "CIEngine":
+        """Lazy float64 companion engine over the same (shared) matrices."""
+        if self._verify_engine is None:
+            self._verify_engine = CIEngine(
+                self.Xs64, self.Xt64, ridge=self.ridge, stats_dtype="float64"
+            )
+        return self._verify_engine
+
+    def _borderline(self, ps: np.ndarray) -> np.ndarray:
+        """Indices whose p-value sits within the verification band."""
+        return np.nonzero(np.abs(ps - self.verify_alpha) <= self.verify_margin)[0]
+
+    # -- marginal sweep ------------------------------------------------------
 
     def marginal_pvalues(self) -> np.ndarray:
-        """``X ⊥ F`` p-value for every feature in one batched sweep (cached)."""
+        """``X ⊥ F`` p-value for every feature in one batched sweep (cached).
+
+        On the float32 path, borderline features (within ``verify_margin``
+        of ``verify_alpha``) are recomputed from the float64 masters.
+        """
         if self._marginal is None:
             if self.Xs.shape[0] < 3 or self.Xt.shape[0] < 2:
                 self._marginal = np.ones(self.n_features)
             else:
-                self._marginal = combined_invariance_pvalues(self.Xs, self.Xt)
+                ps = combined_invariance_pvalues(
+                    self.Xs, self.Xt, ks_exact=not self._verifies
+                )
+                if self._verifies:
+                    near = self._borderline(ps)
+                    if near.size:
+                        ps[near] = combined_invariance_pvalues(
+                            self.Xs64[:, near], self.Xt64[:, near]
+                        )
+                self._marginal = ps
         return self._marginal
 
+    # -- conditional tests ---------------------------------------------------
+
     def _design(self, cols: tuple[int, ...]):
-        """(Zs, Zt, B) for a conditioning tuple; B solves the ridge system for
-        **all** features at once (one multi-RHS ``cho_solve`` per tuple)."""
+        """Cached design matrices for a conditioning tuple.
+
+        Single-RHS mode caches ``(Zs, Zt, factor)`` — the Cholesky factor of
+        the ridge Gram matrix, with betas solved per feature on demand.
+        ``multi_rhs`` mode reproduces the PR-2 entry ``(Zs, Zt, B)`` where
+        ``B`` solves the ridge system for all features at once.
+        """
         entry = self._designs.get(cols)
         if entry is None:
             idx = list(cols)
-            Zs = np.column_stack([np.ones(self.Xs.shape[0]), self.Xs[:, idx]])
-            Zt = np.column_stack([np.ones(self.Xt.shape[0]), self.Xt[:, idx]])
-            A = Zs.T @ Zs + self.ridge * np.eye(Zs.shape[1])
-            B = cho_solve(cho_factor(A), Zs.T @ self.Xs)
-            entry = (Zs, Zt, B)
+            dt = self.stats_dtype
+            Zs = np.column_stack(
+                [np.ones(self.Xs.shape[0], dtype=dt), self.Xs[:, idx]]
+            )
+            Zt = np.column_stack(
+                [np.ones(self.Xt.shape[0], dtype=dt), self.Xt[:, idx]]
+            )
+            A = Zs.T @ Zs + np.asarray(self.ridge, dtype=dt) * np.eye(
+                Zs.shape[1], dtype=dt
+            )
+            if self.multi_rhs:
+                B = cho_solve(cho_factor(A), Zs.T @ self.Xs)
+                entry = (Zs, Zt, B)
+            else:
+                try:
+                    factor = cho_factor(A)
+                except LinAlgError:
+                    # float32 Gram matrices can lose positive-definiteness
+                    # to roundoff; fall back to a float64 factor for this
+                    # tuple (cho_solve upcasts the solve accordingly)
+                    factor = cho_factor(A.astype(np.float64))
+                entry = (Zs, Zt, factor)
             self._designs[cols] = entry
         return entry
+
+    def _beta(self, cols: tuple[int, ...], j: int) -> np.ndarray:
+        """Ridge coefficients of feature ``j`` on conditioning tuple ``cols``."""
+        Zs, _, solved = self._design(cols)
+        if self.multi_rhs:
+            return solved[:, j]
+        per_feature = self._betas.setdefault(cols, {})
+        beta = per_feature.get(j)
+        if beta is None:
+            beta = cho_solve(solved, Zs.T @ self.Xs[:, j])
+            per_feature[j] = beta
+        return beta
 
     def conditional_pvalues(
         self, j: int, subsets: list[tuple[int, ...]]
@@ -168,20 +359,58 @@ class CIEngine:
         """p-values for ``X_j ⊥ F | S`` for every subset S, batched.
 
         Residuals for all subsets are assembled into one matrix and pushed
-        through a single batched Welch-t + KS pass.
+        through a single batched Welch-t + KS pass.  On the float32 path,
+        borderline subsets are recomputed in float64.
         """
         if self.Xs.shape[0] < 3 or self.Xt.shape[0] < 2:
             return np.ones(len(subsets))
         xs = self.Xs[:, j]
         xt = self.Xt[:, j]
-        res_s = np.empty((self.Xs.shape[0], len(subsets)))
-        res_t = np.empty((self.Xt.shape[0], len(subsets)))
+        res_s = np.empty((self.Xs.shape[0], len(subsets)), dtype=self.stats_dtype)
+        res_t = np.empty((self.Xt.shape[0], len(subsets)), dtype=self.stats_dtype)
         for k, cols in enumerate(subsets):
-            Zs, Zt, B = self._design(cols)
-            beta = B[:, j]
+            Zs, Zt, _ = self._design(cols)
+            beta = self._beta(cols, j)
             res_s[:, k] = xs - Zs @ beta
             res_t[:, k] = xt - Zt @ beta
-        return combined_invariance_pvalues(res_s, res_t)
+        ps = combined_invariance_pvalues(res_s, res_t, ks_exact=not self._verifies)
+        if self._verifies:
+            near = self._borderline(ps)
+            if near.size:
+                ps[near] = self._verifier().conditional_pvalues(
+                    j, [subsets[int(i)] for i in near]
+                )
+        return ps
+
+    # -- per-feature subset search -------------------------------------------
+
+    @staticmethod
+    def _subset_levels(
+        candidates: tuple[int, ...],
+        extra_candidates: tuple[int, ...] | None,
+        max_cond_size: int,
+    ):
+        """Yield subset batches: primary pool first, then the fallback pool.
+
+        Fallback levels enumerate subsets of ``extra_candidates`` that are
+        *not* contained in the primary pool (those were already tested), so
+        a feature that never separates still sees every subset of the full
+        pool — the decision-exactness guarantee of pruned search.
+        """
+        for size in range(1, max_cond_size + 1):
+            subsets = list(combinations(candidates, size))
+            if subsets:
+                yield size, subsets
+        if extra_candidates:
+            primary = set(candidates)
+            for size in range(1, max_cond_size + 1):
+                subsets = [
+                    s
+                    for s in combinations(extra_candidates, size)
+                    if not primary.issuperset(s)
+                ]
+                if subsets:
+                    yield size, subsets
 
     def search_feature(
         self,
@@ -191,26 +420,47 @@ class CIEngine:
         *,
         alpha: float,
         max_cond_size: int,
-    ) -> tuple[float, tuple[int, ...], int, TestLog]:
+        budget: int | None = None,
+        deadline: float | None = None,
+        extra_candidates: tuple[int, ...] | None = None,
+    ) -> tuple[float, tuple[int, ...], int, TestLog, bool]:
         """PC-style subset search for one feature's edge to the F-node.
 
-        Returns ``(best_p, separating_set, n_conditional_tests, log)`` with
-        the exact early-break semantics of the per-feature reference loop:
-        subsets are scored level-batched, but only the prefix up to (and
-        including) the first clearing subset counts toward ``n_tests`` /
-        ``best_p`` / the observation log, so results and test counts match
-        the sequential search.
+        Returns ``(best_p, separating_set, n_conditional_tests, log,
+        completed)`` with the exact early-break semantics of the per-feature
+        reference loop: subsets are scored level-batched, but only the prefix
+        up to (and including) the first clearing subset counts toward
+        ``n_tests`` / ``best_p`` / the observation log, so results and test
+        counts match the sequential search.
+
+        ``budget`` caps the number of *counted* conditional tests (anytime
+        mode: the search stops mid-stream with ``completed=False``);
+        ``deadline`` is an absolute :func:`time.perf_counter` cutoff checked
+        between level batches.  ``extra_candidates`` enables the two-phase
+        pruned search described in :meth:`_subset_levels`.
         """
         best_p = float(marginal_p)
         separating: tuple[int, ...] = ()
         n_tests = 0
         log: TestLog = []
+        completed = True
         if best_p >= alpha:
-            return best_p, separating, n_tests, log
-        for size in range(1, max_cond_size + 1):
-            subsets = list(combinations(candidates, size))
-            if not subsets:
-                continue
+            return best_p, separating, n_tests, log, completed
+        for size, subsets in self._subset_levels(
+            candidates, extra_candidates, max_cond_size
+        ):
+            if deadline is not None and time.perf_counter() >= deadline:
+                completed = False
+                break
+            truncated = False
+            if budget is not None:
+                remaining = budget - n_tests
+                if remaining <= 0:
+                    completed = False
+                    break
+                if len(subsets) > remaining:
+                    subsets = subsets[:remaining]
+                    truncated = True
             t0 = time.perf_counter()
             ps = self.conditional_pvalues(j, subsets)
             per_test = (time.perf_counter() - t0) / len(subsets)
@@ -226,28 +476,62 @@ class CIEngine:
                     separating = subsets[idx]
             if cleared:
                 break
-        return best_p, separating, n_tests, log
+            if truncated:
+                completed = False
+                break
+        return best_p, separating, n_tests, log, completed
 
 
 # ---------------------------------------------------------------------------
 # process-pool plumbing: each worker holds one engine over the shared
-# matrices (shipped once per worker via the pool initializer, not per task)
+# matrices — attached zero-copy from shared memory when available, shipped
+# once per worker via the pool initializer otherwise
 
 _WORKER_ENGINE: CIEngine | None = None
 _WORKER_PARAMS: dict | None = None
 
 
-def init_search_worker(Xs, Xt, alpha: float, max_cond_size: int, ridge: float) -> None:
-    """Pool initializer: build this worker's engine once."""
+def _install_worker_engine(Xs, Xt, params: dict) -> None:
     global _WORKER_ENGINE, _WORKER_PARAMS
-    _WORKER_ENGINE = CIEngine(Xs, Xt, ridge=ridge)
-    _WORKER_PARAMS = {"alpha": alpha, "max_cond_size": max_cond_size}
+    _WORKER_ENGINE = CIEngine(
+        Xs,
+        Xt,
+        ridge=params.get("ridge", DEFAULT_RIDGE),
+        stats_dtype=params.get("stats_dtype", "float64"),
+        verify_alpha=params.get("verify_alpha"),
+        verify_margin=params.get("verify_margin"),
+        multi_rhs=params.get("multi_rhs", False),
+    )
+    _WORKER_PARAMS = {
+        "alpha": params["alpha"],
+        "max_cond_size": params["max_cond_size"],
+    }
+
+
+def init_search_worker(Xs, Xt, params: dict) -> None:
+    """Pool initializer (pickling fallback): build this worker's engine once."""
+    _install_worker_engine(Xs, Xt, params)
+
+
+def init_search_worker_shm(meta: dict, params: dict) -> None:
+    """Pool initializer: attach the shared-memory matrices zero-copy."""
+    from repro.causal.shm import attach_arrays
+
+    arrays = attach_arrays(meta)
+    _install_worker_engine(arrays["Xs"], arrays["Xt"], params)
 
 
 def search_chunk_worker(tasks):
-    """Run :meth:`CIEngine.search_feature` for a chunk of (j, candidates, p0)."""
+    """Run :meth:`CIEngine.search_feature` for a chunk of search tasks.
+
+    Each task is ``(j, candidates, extra_candidates, marginal_p)``; each
+    result row is ``(j, best_p, separating, n_tests, log, completed)``.
+    """
     engine, params = _WORKER_ENGINE, _WORKER_PARAMS
     return [
-        (j,) + engine.search_feature(j, candidates, marginal_p, **params)
-        for j, candidates, marginal_p in tasks
+        (j,)
+        + engine.search_feature(
+            j, candidates, marginal_p, extra_candidates=extra, **params
+        )
+        for j, candidates, extra, marginal_p in tasks
     ]

@@ -43,9 +43,12 @@ from repro.causal.ci_tests import (
 from repro.causal.engine import (
     CIEngine,
     init_search_worker,
+    init_search_worker_shm,
+    rank_candidates,
     resolve_n_jobs,
     search_chunk_worker,
 )
+from repro.causal.shm import create_shared_matrices
 from repro.causal.pc import pc_algorithm
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
@@ -73,6 +76,10 @@ class FNodeResult:
         The conditioning set used for every feature.
     n_tests:
         Total number of CI tests run (drives the running-time benchmark).
+    coverage:
+        Fraction of subset searches that ran to completion.  Always 1.0
+        outside budgeted mode; under a test-count or wall-clock budget it
+        reports how much of the full search the budget afforded.
     """
 
     variant_indices: np.ndarray
@@ -80,6 +87,7 @@ class FNodeResult:
     p_values: np.ndarray
     parent_sets: list[tuple[int, ...]] = field(default_factory=list)
     n_tests: int = 0
+    coverage: float = 1.0
 
     @property
     def n_variant(self) -> int:
@@ -124,10 +132,47 @@ class FNodeDiscovery:
     n_jobs:
         Worker processes for the conditional subset search (``-1`` = all
         cores).  Features are chunked across workers and merged back in
-        feature order, so results are bit-identical to ``n_jobs=1``.
+        feature order, so results are bit-identical to ``n_jobs=1``.  The
+        matrices reach workers zero-copy via shared memory when available
+        (see ``use_shared_memory``).
     ridge:
         Ridge strength of the conditional regression (matches
         :func:`repro.causal.ci_tests.regression_invariance_test`).
+    prune_k:
+        Cap on each feature's *primary* conditioning-candidate pool: the
+        top ``prune_k`` candidates by marginal-association effect size are
+        searched first.  With ``prune_exact=True`` (default) the remaining
+        candidates form a fallback pool searched only if the primary pool
+        fails to separate the feature — variant decisions are then exactly
+        those of the unpruned search, but features separated by a
+        top-ranked conditioner (the common case) never pay for the full
+        subset enumeration.  ``None`` disables pruning.
+    prune_exact:
+        When False, the fallback phase is skipped: only the pruned pool is
+        searched (approximate, faster; some variants may be over-reported).
+    budget / budget_seconds:
+        Anytime mode — a global cap on the number of conditional CI tests
+        and/or the wall-clock time of the subset-search phase.  Features
+        are processed closest-to-clearing first and candidates are ranked
+        by effect size, so tests form a deterministic prefix across budget
+        values; a larger budget can only *clear* more features, so its
+        variant set is a subset of any smaller budget's.  Budgeted runs are
+        serial (a global countdown cannot span processes) and report the
+        searched fraction in :attr:`FNodeResult.coverage`.
+    stats_dtype:
+        ``"float64"`` (default) or ``"float32"``: run the batched
+        statistics in single precision, with every p-value within
+        ``alpha/2`` of ``alpha`` re-verified in float64 so variant
+        decisions match the float64 path.
+    use_shared_memory:
+        Publish the matrices to workers via ``multiprocessing.shared_memory``
+        (zero-copy) instead of pickling them per worker.  Falls back to
+        pickling automatically when shared memory is unavailable; both
+        fan-outs are result-identical.
+    multi_rhs:
+        Frozen PR-2 solve mode (benchmark baseline): betas for all
+        features are solved per conditioning tuple instead of per
+        ``(tuple, feature)``.  float64 only.
     """
 
     def __init__(
@@ -139,6 +184,13 @@ class FNodeDiscovery:
         min_correlation: float = 0.2,
         n_jobs: int = 1,
         ridge: float = 1e-3,
+        prune_k: int | None = None,
+        prune_exact: bool = True,
+        budget: int | None = None,
+        budget_seconds: float | None = None,
+        stats_dtype: str = "float64",
+        use_shared_memory: bool = True,
+        multi_rhs: bool = False,
     ) -> None:
         if not 0.0 < alpha < 1.0:
             raise ValidationError("alpha must be in (0, 1)")
@@ -146,12 +198,25 @@ class FNodeDiscovery:
             raise ValidationError("max_parents must be >= 0")
         if max_cond_size < 0:
             raise ValidationError("max_cond_size must be >= 0")
+        if prune_k is not None and prune_k < 1:
+            raise ValidationError("prune_k must be a positive int or None")
+        if budget is not None and budget < 0:
+            raise ValidationError("budget must be >= 0 or None")
+        if budget_seconds is not None and budget_seconds <= 0:
+            raise ValidationError("budget_seconds must be > 0 or None")
         self.alpha = alpha
         self.max_parents = max_parents
         self.max_cond_size = max_cond_size
         self.min_correlation = min_correlation
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.ridge = ridge
+        self.prune_k = prune_k
+        self.prune_exact = prune_exact
+        self.budget = budget
+        self.budget_seconds = budget_seconds
+        self.stats_dtype = stats_dtype
+        self.use_shared_memory = use_shared_memory
+        self.multi_rhs = multi_rhs
 
     def _candidates(self, corr: np.ndarray, j: int) -> tuple[int, ...]:
         """Top-``max_parents`` source-correlated features for column j."""
@@ -185,9 +250,17 @@ class FNodeDiscovery:
             corr = np.corrcoef(X_source, rowvar=False)
         if d == 1:
             corr = np.array([[1.0]])
-        engine = CIEngine(X_source, X_target, ridge=self.ridge)
+        engine = CIEngine(
+            X_source,
+            X_target,
+            ridge=self.ridge,
+            stats_dtype=self.stats_dtype,
+            verify_alpha=self.alpha,
+            multi_rhs=self.multi_rhs,
+        )
         registry = get_metrics()
         tracer = get_tracer()
+        budgeted = self.budget is not None or self.budget_seconds is not None
 
         # the FS span decomposes into CI-test-batch child spans (the batched
         # marginal sweep, then chunks of conditional subset searches) so a
@@ -206,16 +279,24 @@ class FNodeDiscovery:
             n_tests = d
             parent_sets: list[tuple[int, ...]] = [() for _ in range(d)]
 
-            # only features failing the marginal test enter the subset search
+            # only features failing the marginal test enter the subset search;
+            # each task is (j, primary candidates, fallback candidates, p)
             tasks = []
             if self.max_parents > 0 and self.max_cond_size > 0:
-                tasks = [
-                    (int(j), candidates, float(p_values[j]))
-                    for j in np.nonzero(p_values < self.alpha)[0]
-                    if (candidates := self._candidates(corr, int(j)))
-                ]
-            searched = self._search(engine, X_source, X_target, tasks, tracer)
-            for j, best_p, separating, n_cond, log in searched:
+                for j in np.nonzero(p_values < self.alpha)[0]:
+                    j = int(j)
+                    pool = self._candidates(corr, j)
+                    if not pool:
+                        continue
+                    primary, extra = self._prune(corr, p_values, j, pool, budgeted)
+                    tasks.append((j, primary, extra, float(p_values[j])))
+            if budgeted:
+                # closest-to-clearing first: a deterministic order in which
+                # tight budgets spend their tests where clears are cheapest,
+                # and any budget's tests are a prefix of a larger budget's
+                tasks.sort(key=lambda t: (-t[3], t[0]))
+            searched, coverage = self._search(engine, tasks, tracer)
+            for j, best_p, separating, n_cond, log, _completed in searched:
                 p_values[j] = best_p
                 parent_sets[j] = separating
                 n_tests += n_cond
@@ -236,22 +317,61 @@ class FNodeDiscovery:
             p_values=p_values,
             parent_sets=parent_sets,
             n_tests=n_tests,
+            coverage=coverage,
         )
 
-    def _search(self, engine, X_source, X_target, tasks, tracer) -> list:
+    def _prune(
+        self,
+        corr: np.ndarray,
+        marginal_p: np.ndarray,
+        j: int,
+        pool: tuple[int, ...],
+        budgeted: bool,
+    ) -> tuple[tuple[int, ...], tuple[int, ...] | None]:
+        """Split feature ``j``'s candidate pool into (primary, fallback).
+
+        Without pruning or budgeting the pool passes through untouched, so
+        subset enumeration order — and therefore every reported p-value —
+        is bit-identical to the unpruned engine.  With ``prune_k`` the top-k
+        candidates by effect size form the primary pool; in exact mode the
+        full pool becomes the fallback searched only if the primary pool
+        never separates ``j``.  Budgeted runs rank the pool even when not
+        pruning so a tight budget tries the most promising subsets first.
+        """
+        if self.prune_k is None:
+            if budgeted:
+                return rank_candidates(corr[j], marginal_p, pool), None
+            return pool, None
+        ranked = rank_candidates(corr[j], marginal_p, pool)
+        if len(ranked) <= self.prune_k:
+            return ranked, None
+        primary = ranked[: self.prune_k]
+        return primary, (ranked if self.prune_exact else None)
+
+    def _search(self, engine, tasks, tracer) -> tuple[list, float]:
         """Run the conditional subset searches, serially or in a process pool.
 
-        Returns ``(j, best_p, separating, n_tests, log)`` rows; the merge key
-        is the feature index, so worker scheduling cannot reorder results.
+        Returns ``(rows, coverage)`` where each row is ``(j, best_p,
+        separating, n_tests, log, completed)``; the merge key is the feature
+        index, so worker scheduling cannot reorder results.  Budgeted runs
+        (test-count or wall-clock) are always serial: the budget is a global
+        countdown shared across features.
         """
         if not tasks:
-            return []
+            return [], 1.0
         chunks = [
             tasks[start : start + CI_BATCH_SIZE]
             for start in range(0, len(tasks), CI_BATCH_SIZE)
         ]
         results: list = []
-        if self.n_jobs == 1:
+        budgeted = self.budget is not None or self.budget_seconds is not None
+        if self.n_jobs == 1 or budgeted:
+            remaining = self.budget
+            deadline = (
+                time.perf_counter() + self.budget_seconds
+                if self.budget_seconds is not None
+                else None
+            )
             for chunk in chunks:
                 with tracer.span(
                     "fs.ci_batch",
@@ -260,40 +380,66 @@ class FNodeDiscovery:
                     stage="conditional",
                 ) as batch_span:
                     batch_tests = 0
-                    for j, candidates, marginal_p in chunk:
+                    for j, candidates, extra, marginal_p in chunk:
                         out = engine.search_feature(
                             j,
                             candidates,
                             marginal_p,
                             alpha=self.alpha,
                             max_cond_size=self.max_cond_size,
+                            budget=remaining,
+                            deadline=deadline,
+                            extra_candidates=extra,
                         )
                         results.append((j, *out))
                         batch_tests += out[2]
+                        if remaining is not None:
+                            remaining -= out[2]
                     batch_span.tag(n_tests=batch_tests)
-            return results
-        with tracer.span(
-            "fs.ci_batch",
-            feature_start=tasks[0][0],
-            feature_stop=tasks[-1][0] + 1,
-            stage="conditional",
-            n_jobs=self.n_jobs,
-        ) as batch_span:
-            with ProcessPoolExecutor(
-                max_workers=min(self.n_jobs, len(chunks)),
-                initializer=init_search_worker,
-                initargs=(
-                    engine.Xs,
-                    engine.Xt,
-                    self.alpha,
-                    self.max_cond_size,
-                    self.ridge,
-                ),
-            ) as pool:
-                for chunk_result in pool.map(search_chunk_worker, chunks):
-                    results.extend(chunk_result)
-            batch_span.tag(n_tests=sum(row[3] for row in results))
-        return results
+            coverage = sum(1 for row in results if row[5]) / len(tasks)
+            return results, coverage
+        params = {
+            "alpha": self.alpha,
+            "max_cond_size": self.max_cond_size,
+            "ridge": self.ridge,
+            "stats_dtype": self.stats_dtype,
+            "verify_alpha": self.alpha,
+            "multi_rhs": self.multi_rhs,
+        }
+        shared = (
+            create_shared_matrices({"Xs": engine.Xs64, "Xt": engine.Xt64})
+            if self.use_shared_memory
+            else None
+        )
+        try:
+            if shared is not None:
+                initializer, initargs = init_search_worker_shm, (shared.meta(), params)
+            else:  # shared memory unavailable: ship the matrices pickled
+                initializer, initargs = (
+                    init_search_worker,
+                    (engine.Xs64, engine.Xt64, params),
+                )
+            with tracer.span(
+                "fs.ci_batch",
+                feature_start=tasks[0][0],
+                feature_stop=tasks[-1][0] + 1,
+                stage="conditional",
+                n_jobs=self.n_jobs,
+                shared_memory=shared is not None,
+            ) as batch_span:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.n_jobs, len(chunks)),
+                    initializer=initializer,
+                    initargs=initargs,
+                ) as pool:
+                    for chunk_result in pool.map(search_chunk_worker, chunks):
+                        results.extend(chunk_result)
+                batch_span.tag(n_tests=sum(row[3] for row in results))
+        finally:
+            # unlink even on BrokenProcessPool so /dev/shm cannot leak
+            if shared is not None:
+                shared.close()
+        return results, 1.0
 
 
 def _mixed_ci_test(f_col: int):

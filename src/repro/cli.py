@@ -50,6 +50,7 @@ from repro.experiments import (
     format_bench,
     format_bench_nn,
     format_bench_serve,
+    format_bench_wide,
     format_multitarget,
     format_runtime,
     format_table1,
@@ -60,6 +61,7 @@ from repro.experiments import (
     run_bench,
     run_bench_nn,
     run_bench_serve,
+    run_bench_wide,
     run_multitarget,
     run_table1,
     summarize_improvement,
@@ -159,6 +161,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="nn suite: override the preset's GAN epoch budget")
     p.add_argument("--draws", type=int, default=1,
                    help="serve suite: Monte-Carlo draws per sample")
+    p.add_argument("--wide", action="store_true",
+                   help="fs suite: scaling curve on synthetic wide matrices "
+                   "(pre-PR engine vs shared-memory/pruned/float32 path) "
+                   "instead of the preset dataset benchmark")
+    p.add_argument("--widths", default="442,1024", metavar="W1,W2,...",
+                   help="fs --wide: comma-separated feature widths "
+                   "(default 442,1024)")
+    p.add_argument("--rounds", type=int, default=2,
+                   help="fs --wide: timing rounds per side (min is kept)")
 
     p = sub.add_parser(
         "serve",
@@ -296,6 +307,17 @@ def _dispatch(args, preset) -> None:
                 out=out,
             )
             print(format_bench_serve(record))
+        elif args.wide:
+            out = args.out or "BENCH_fs.json"
+            widths = tuple(int(w) for w in args.widths.split(",") if w.strip())
+            records = run_bench_wide(
+                widths,
+                n_jobs=args.n_jobs,
+                fs_rounds=args.rounds,
+                random_state=args.seed,
+                out=out,
+            )
+            print(format_bench_wide(records))
         else:
             out = args.out or "BENCH_fs.json"
             record = run_bench(

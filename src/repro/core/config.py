@@ -19,9 +19,25 @@ class FSConfig:
 
     ``alpha`` is the CI-test significance level; ``max_parents`` the size of
     the approximate parent set conditioning each ``X ⊥ F | Pa(X)`` test;
-    ``min_correlation`` the parent-candidate admission threshold; ``n_jobs``
-    the worker-process count for the CI subset search (``-1`` = all cores,
-    results are bit-identical to the serial path).
+    ``min_correlation`` the parent-candidate admission threshold.
+
+    ``n_jobs`` is the worker-process count for the CI subset search.  The
+    only accepted values are positive integers and ``-1``, which means "one
+    worker per available CPU core" (``os.cpu_count()``); ``0`` and other
+    negative values are rejected at construction.  Parallel results are
+    bit-identical to the serial path, and workers receive the matrices
+    zero-copy via shared memory when ``use_shared_memory`` is set (with an
+    automatic result-identical pickling fallback).
+
+    Wide-scale controls (ROADMAP item 4): ``prune_k`` caps each feature's
+    primary conditioning-candidate pool at the top-k candidates by
+    marginal-association effect size (``prune_exact=True`` keeps variant
+    decisions exactly equal to the unpruned search via a fallback phase);
+    ``budget`` / ``budget_seconds`` bound the conditional-test count /
+    wall-clock of an anytime search that reports its coverage;
+    ``stats_dtype="float32"`` runs the statistics path in single precision
+    with float64 re-verification of borderline p-values (variant decisions
+    match float64).
     """
 
     alpha: float = 0.01
@@ -29,6 +45,12 @@ class FSConfig:
     max_cond_size: int = 2
     min_correlation: float = 0.2
     n_jobs: int = 1
+    prune_k: int | None = None
+    prune_exact: bool = True
+    budget: int | None = None
+    budget_seconds: float | None = None
+    stats_dtype: str = "float64"
+    use_shared_memory: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha < 1.0:
@@ -40,7 +62,20 @@ class FSConfig:
         if not 0.0 <= self.min_correlation <= 1.0:
             raise ConfigurationError("min_correlation must be in [0, 1]")
         if self.n_jobs != -1 and self.n_jobs < 1:
-            raise ConfigurationError("n_jobs must be >= 1 or -1 (all cores)")
+            raise ConfigurationError(
+                "n_jobs must be >= 1 or -1 (all cores); 0 and negative "
+                f"values other than -1 are invalid, got {self.n_jobs!r}"
+            )
+        if self.prune_k is not None and self.prune_k < 1:
+            raise ConfigurationError("prune_k must be a positive int or None")
+        if self.budget is not None and self.budget < 0:
+            raise ConfigurationError("budget must be >= 0 or None")
+        if self.budget_seconds is not None and self.budget_seconds <= 0:
+            raise ConfigurationError("budget_seconds must be > 0 or None")
+        if self.stats_dtype not in ("float64", "float32"):
+            raise ConfigurationError(
+                f"stats_dtype must be 'float64' or 'float32', got {self.stats_dtype!r}"
+            )
 
 
 @dataclass(frozen=True)

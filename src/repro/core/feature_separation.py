@@ -49,6 +49,7 @@ class FeatureSeparator(Estimator):
             "n_features_": int(self.n_features_),
             "parent_sets": [list(p) for p in self.result_.parent_sets],
             "n_tests": int(self.result_.n_tests),
+            "coverage": float(self.result_.coverage),
         }
         return {
             "__meta__": encode_json(meta),
@@ -66,6 +67,7 @@ class FeatureSeparator(Estimator):
             p_values=np.array(state["p_values"]),
             parent_sets=[tuple(p) for p in meta.get("parent_sets", [])],
             n_tests=int(meta.get("n_tests", 0)),
+            coverage=float(meta.get("coverage", 1.0)),
         )
         return self
 
@@ -106,6 +108,12 @@ class FeatureSeparator(Estimator):
             max_cond_size=self.config.max_cond_size,
             min_correlation=self.config.min_correlation,
             n_jobs=self.config.n_jobs,
+            prune_k=self.config.prune_k,
+            prune_exact=self.config.prune_exact,
+            budget=self.config.budget,
+            budget_seconds=self.config.budget_seconds,
+            stats_dtype=self.config.stats_dtype,
+            use_shared_memory=self.config.use_shared_memory,
         )
         with get_tracer().span(
             "fs.fit",

@@ -1,8 +1,21 @@
 """Experiment harness: presets, runner and formatters regenerating every
 table and figure of the paper's evaluation section (see DESIGN.md §4)."""
 
-from repro.experiments.bench import reference_discover, run_bench, write_bench_record
+from repro.experiments.bench import (
+    make_wide_pair,
+    reference_discover,
+    run_bench,
+    run_bench_wide,
+    write_bench_record,
+)
 from repro.experiments.bench_nn import run_bench_nn
+from repro.experiments.bench_registry import (
+    SUITES,
+    BenchRecord,
+    BenchSuite,
+    bench_key,
+    get_suite,
+)
 from repro.experiments.bench_serve import bench_serve_record, run_bench_serve
 from repro.experiments.models import MODEL_NAMES, model_factories
 from repro.experiments.multitarget import run_multitarget
@@ -12,6 +25,7 @@ from repro.experiments.reporting import (
     format_bench,
     format_bench_nn,
     format_bench_serve,
+    format_bench_wide,
     format_multitarget,
     format_runtime,
     format_table1,
@@ -29,21 +43,28 @@ from repro.experiments.runtime import measure_runtime
 from repro.experiments.sensitivity import selection_variance, variant_counts
 
 __all__ = [
+    "BenchRecord",
+    "BenchSuite",
     "CellResult",
     "ExperimentPreset",
     "MODEL_NAMES",
     "PRESETS",
+    "SUITES",
     "SharedArtifacts",
+    "bench_key",
     "format_ablation",
     "format_bench",
     "format_bench_nn",
     "format_bench_serve",
+    "format_bench_wide",
     "format_multitarget",
     "format_runtime",
     "format_table1",
     "format_variant_counts",
     "get_preset",
+    "get_suite",
     "make_benchmark",
+    "make_wide_pair",
     "measure_runtime",
     "model_factories",
     "reference_discover",
@@ -52,6 +73,7 @@ __all__ = [
     "bench_serve_record",
     "run_bench_nn",
     "run_bench_serve",
+    "run_bench_wide",
     "run_multitarget",
     "run_table1",
     "selection_variance",

@@ -20,8 +20,6 @@ presets and seeds accumulate rather than clobber.
 
 from __future__ import annotations
 
-import json
-import os
 from itertools import combinations
 
 import numpy as np
@@ -31,6 +29,12 @@ from repro.causal.fnode import FNodeDiscovery, FNodeResult
 from repro.core.config import FSConfig, ReconstructionConfig
 from repro.core.feature_separation import FeatureSeparator
 from repro.core.reconstruction import VariantReconstructor
+from repro.experiments.bench_registry import (
+    BenchRecord,
+    bench_key,
+    get_suite,
+    write_bench_record as _registry_write,
+)
 from repro.experiments.presets import ExperimentPreset, get_preset
 from repro.experiments.runner import make_benchmark
 from repro.ml.preprocessing import MinMaxScaler
@@ -38,7 +42,8 @@ from repro.obs.logging import get_logger
 from repro.obs.trace import Stopwatch, get_tracer
 
 #: schema tag stamped into every benchmark file this module writes
-BENCH_SCHEMA = "repro.bench.fs/v1"
+#: (owned by the suite registry; kept as a module constant for callers)
+BENCH_SCHEMA = get_suite("fs").schema
 
 
 def reference_discover(
@@ -101,30 +106,14 @@ def reference_discover(
     )
 
 
-def bench_key(record: dict) -> str:
-    """The seed-keyed slot a record occupies in the benchmark file."""
-    return f"{record['dataset']}/{record['preset']}/seed{record['seed']}"
-
-
-def write_bench_record(record: dict, path: str, *, schema: str = BENCH_SCHEMA) -> None:
+def write_bench_record(record, path: str, *, schema: str = BENCH_SCHEMA) -> None:
     """Merge ``record`` into the JSON file at ``path`` (created if absent).
 
-    ``schema`` tags the file; an existing file with a different schema is
-    rewritten from scratch rather than mixed (each suite owns its file).
+    Thin wrapper over :func:`repro.experiments.bench_registry.write_bench_record`
+    defaulting to the FS suite's schema; kept here because the other bench
+    modules historically import the helper from this module.
     """
-    doc = {"schema": schema, "records": {}}
-    if os.path.exists(path):
-        try:
-            with open(path, encoding="utf-8") as fh:
-                existing = json.load(fh)
-            if isinstance(existing, dict) and existing.get("schema") == schema:
-                doc["records"].update(existing.get("records", {}))
-        except (ValueError, OSError):
-            pass  # unreadable file: rewrite from scratch
-    doc["records"][bench_key(record)] = record
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    _registry_write(record, path, schema=schema)
 
 
 def run_bench(
@@ -208,30 +197,190 @@ def run_bench(
                 rec.reconstruct(row[None, :])
         per_sample = sw.seconds / len(inv_block)
 
-    record = {
-        "dataset": dataset,
-        "preset": preset.name,
-        "seed": random_state,
-        "shots": shots,
-        "n_jobs": n_jobs,
-        "fs_rounds": fs_rounds,
-        "n_features": bench.n_features,
-        "before": {
+    record = BenchRecord(
+        suite="fs",
+        dataset=dataset,
+        preset=preset.name,
+        seed=random_state,
+        before={
             "fs_seconds": ref_seconds,
             "n_ci_tests": int(ref.n_tests),
             "n_variant": int(ref.n_variant),
         },
-        "after": {
+        after={
             "fs_seconds": eng_seconds,
             "n_ci_tests": int(res.n_tests),
             "n_variant": int(res.n_variant),
         },
-        "speedup": ref_seconds / max(eng_seconds, 1e-9),
-        "equivalent": equivalent,
-        "gan_train_seconds": gan_seconds,
-        "inference_seconds_per_sample": per_sample,
-    }
+        speedup=ref_seconds / max(eng_seconds, 1e-9),
+        equivalent=equivalent,
+        extras={
+            "shots": shots,
+            "n_jobs": n_jobs,
+            "fs_rounds": fs_rounds,
+            "n_features": bench.n_features,
+            "gan_train_seconds": gan_seconds,
+            "inference_seconds_per_sample": per_sample,
+        },
+    ).to_dict()
     if out:
         write_bench_record(record, out)
         logger.info("benchmark record written to %s", out)
     return record
+
+
+# ---------------------------------------------------------------------------
+# wide-scale FS benchmark (ROADMAP item 4): synthetic drift pairs at the
+# paper's 442-feature operating point and beyond
+
+#: features per causal group in the wide generator (1 drifted parent,
+#: 5 children separated by conditioning on it, 2 independent noise columns)
+_WIDE_GROUP = 8
+
+
+def make_wide_pair(
+    n_features: int,
+    *,
+    n_source: int = 480,
+    n_target: int = 120,
+    drift: float = 1.2,
+    random_state: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Synthetic (source, target) matrices of exactly ``n_features`` columns.
+
+    The 5GC generator's width is tied to its infra/KPI group structure, so
+    it cannot hit arbitrary widths; this generator exists to measure FS
+    *scaling* with exact width control.  Features come in groups of
+    :data:`_WIDE_GROUP` with the three causal roles discovery must tell
+    apart: a **parent** whose mechanism drifts in the target (an
+    intervention target — no conditioning subset clears it), five
+    **children** of that parent (marginally drifted, separated by
+    conditioning on the parent), and two independent **noise** columns
+    (cleared by the marginal sweep).  A trailing partial group is filled
+    with noise columns so any width is reachable.
+    """
+    if n_features < 1:
+        raise ValueError("n_features must be >= 1")
+    rng = np.random.default_rng(random_state)
+
+    def domain(n_rows: int, drifted: bool) -> np.ndarray:
+        X = np.empty((n_rows, n_features))
+        for start in range(0, n_features, _WIDE_GROUP):
+            width = min(_WIDE_GROUP, n_features - start)
+            parent = rng.standard_normal(n_rows)
+            if drifted:
+                parent = parent + drift  # soft intervention: mean shift
+            cols = [parent]
+            for child in range(1, max(width - 2, 1)):
+                # fixed cross-domain mechanism: invariant given the parent.
+                # the unit noise keeps siblings from jointly reconstructing
+                # the parent, which would spuriously clear the true target
+                noise = rng.standard_normal(n_rows)
+                weight = 0.75 + 0.05 * (child % 3)
+                cols.append(weight * parent + noise)
+            while len(cols) < width:
+                cols.append(rng.standard_normal(n_rows))
+            X[:, start : start + width] = np.column_stack(cols[:width])
+        return X
+
+    return domain(n_source, drifted=False), domain(n_target, drifted=True)
+
+
+def run_bench_wide(
+    widths: tuple[int, ...] = (442, 1024),
+    *,
+    n_jobs: int = -1,
+    fs_rounds: int = 2,
+    prune_k: int = 3,
+    stats_dtype: str = "float32",
+    n_source: int = 480,
+    n_target: int = 120,
+    random_state: int = 0,
+    out: str | None = None,
+) -> list[dict]:
+    """FS scaling curve: pre-PR engine vs the wide-scale fast path.
+
+    For each width, **before** runs the frozen PR-2 configuration (multi-RHS
+    ridge solves, pickled worker fan-out, no pruning, float64) and **after**
+    runs the wide-scale path (per-feature solves, shared-memory fan-out,
+    exact-mode pruning at ``prune_k``, ``stats_dtype`` statistics with
+    float64 borderline verification).  Both sides see the same matrices and
+    ``n_jobs``; ``equivalent`` asserts identical variant decisions, which
+    exact-mode pruning and verified float32 guarantee by construction.
+    Returns one record per width; with ``out``, each is merged under
+    ``wide/<width>/seed<seed>``.
+    """
+    tracer = get_tracer()
+    logger = get_logger("repro.experiments.bench")
+    fs_rounds = max(1, fs_rounds)
+    records: list[dict] = []
+    for width in widths:
+        Xs, Xt = make_wide_pair(
+            int(width),
+            n_source=n_source,
+            n_target=n_target,
+            random_state=random_state,
+        )
+        before_disc = FNodeDiscovery(
+            n_jobs=n_jobs, multi_rhs=True, use_shared_memory=False
+        )
+        after_disc = FNodeDiscovery(
+            n_jobs=n_jobs,
+            prune_k=prune_k,
+            prune_exact=True,
+            stats_dtype=stats_dtype,
+            use_shared_memory=True,
+        )
+        before_seconds = after_seconds = float("inf")
+        with tracer.span("bench.fs_wide", width=int(width), rounds=fs_rounds):
+            for _ in range(fs_rounds):
+                with Stopwatch() as sw:
+                    before = before_disc.discover(Xs, Xt)
+                before_seconds = min(before_seconds, sw.seconds)
+                with Stopwatch() as sw:
+                    after = after_disc.discover(Xs, Xt)
+                after_seconds = min(after_seconds, sw.seconds)
+        equivalent = bool(
+            np.array_equal(before.variant_indices, after.variant_indices)
+            and after.coverage == 1.0
+        )
+        speedup = before_seconds / max(after_seconds, 1e-9)
+        logger.info(
+            "wide %d: %.2fs -> %.2fs (%.2fx, equivalent=%s)",
+            width, before_seconds, after_seconds, speedup, equivalent,
+        )
+        record = BenchRecord(
+            suite="fs",
+            dataset="wide",
+            preset=str(int(width)),
+            seed=random_state,
+            before={
+                "fs_seconds": before_seconds,
+                "n_ci_tests": int(before.n_tests),
+                "n_variant": int(before.n_variant),
+            },
+            after={
+                "fs_seconds": after_seconds,
+                "n_ci_tests": int(after.n_tests),
+                "n_variant": int(after.n_variant),
+            },
+            speedup=speedup,
+            equivalent=equivalent,
+            extras={
+                "n_features": int(width),
+                "n_jobs": n_jobs,
+                "fs_rounds": fs_rounds,
+                "n_source": n_source,
+                "n_target": n_target,
+                "before_mode": "multi_rhs+pickle+float64",
+                "after_mode": (
+                    f"per_feature+shm+prune_k={prune_k}+{stats_dtype}"
+                ),
+                "coverage": float(after.coverage),
+            },
+        ).to_dict()
+        records.append(record)
+        if out:
+            write_bench_record(record, out)
+            logger.info("benchmark record written to %s", out)
+    return records

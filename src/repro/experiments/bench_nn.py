@@ -34,7 +34,12 @@ import copy
 
 import numpy as np
 
-from repro.experiments.bench import bench_key, write_bench_record
+from repro.experiments.bench_registry import (
+    BenchRecord,
+    bench_key,
+    get_suite,
+    write_bench_record,
+)
 from repro.experiments.presets import ExperimentPreset, get_preset
 from repro.experiments.runner import make_benchmark
 from repro.gan.cgan import ConditionalGAN
@@ -44,7 +49,8 @@ from repro.obs.logging import get_logger
 from repro.obs.trace import Stopwatch, get_tracer
 
 #: schema tag stamped into every benchmark file this module writes
-BENCH_NN_SCHEMA = "repro.bench.nn/v1"
+#: (owned by the suite registry; kept as a module constant for callers)
+BENCH_NN_SCHEMA = get_suite("nn").schema
 
 #: serving tolerance for the float32 fast path (see EXPERIMENTS.md):
 #: one forward pass of float32 roundoff over two hidden layers
@@ -157,42 +163,45 @@ def run_bench_nn(
         np.allclose(out64, out32, rtol=FLOAT32_RTOL, atol=FLOAT32_ATOL)
     )
 
-    record = {
-        "dataset": dataset,
-        "preset": preset.name,
-        "seed": random_state,
-        "epochs": n_epochs,
-        "hidden_size": preset.gan_hidden,
-        "noise_dim": preset.gan_noise_dim,
-        "n_samples": int(X_inv.shape[0]),
-        "n_invariant": int(X_inv.shape[1]),
-        "n_variant": int(X_var.shape[1]),
-        "before": {
+    record = BenchRecord(
+        suite="nn",
+        dataset=dataset,
+        preset=preset.name,
+        seed=random_state,
+        before={
             "train_seconds": ref_seconds,
             "epochs_per_sec": n_epochs / max(ref_seconds, 1e-9),
             "serve_seconds": serve_ref,
         },
-        "after": {
+        after={
             "train_seconds": fused_seconds,
             "epochs_per_sec": n_epochs / max(fused_seconds, 1e-9),
             "serve_seconds": serve_fused,
         },
-        "speedup": ref_seconds / max(fused_seconds, 1e-9),
-        "equivalent": train_equivalent,
-        "serve": {
-            "n_samples": int(X_serve.shape[0]),
-            "n_draws": int(n_draws),
-            "speedup": serve_ref / max(serve_fused, 1e-9),
-            "max_abs_diff": serve_max_diff,
-            "equivalent": serve_equivalent,
+        speedup=ref_seconds / max(fused_seconds, 1e-9),
+        equivalent=train_equivalent,
+        extras={
+            "epochs": n_epochs,
+            "hidden_size": preset.gan_hidden,
+            "noise_dim": preset.gan_noise_dim,
+            "n_samples": int(X_inv.shape[0]),
+            "n_invariant": int(X_inv.shape[1]),
+            "n_variant": int(X_var.shape[1]),
+            "serve": {
+                "n_samples": int(X_serve.shape[0]),
+                "n_draws": int(n_draws),
+                "speedup": serve_ref / max(serve_fused, 1e-9),
+                "max_abs_diff": serve_max_diff,
+                "equivalent": serve_equivalent,
+            },
+            "float32": {
+                "train_seconds": f32_seconds,
+                "speedup_vs_float64": fused_seconds / max(f32_seconds, 1e-9),
+                "serve_max_abs_diff": f32_max_diff,
+                "within_tolerance": f32_within_tol,
+            },
         },
-        "float32": {
-            "train_seconds": f32_seconds,
-            "speedup_vs_float64": fused_seconds / max(f32_seconds, 1e-9),
-            "serve_max_abs_diff": f32_max_diff,
-            "within_tolerance": f32_within_tol,
-        },
-    }
+    ).to_dict()
     if out:
         write_bench_record(record, out, schema=BENCH_NN_SCHEMA)
         logger.info("benchmark record written to %s", out)

@@ -1,0 +1,186 @@
+"""One registry for every benchmark suite (ROADMAP item 5).
+
+Before this module each suite (FS, NN, serve) carried its own ad-hoc
+schema constant, record layout and file-merge helper.  The registry pins
+them down in one place:
+
+- :class:`BenchSuite` — the per-suite contract: schema tag, default
+  record file, and which *ratio* fields the CI regression gate compares
+  (wall-clock seconds are machine-dependent; before/after ratios are not).
+- :class:`BenchRecord` — the shared record shape every suite emits: a
+  ``dataset/preset/seedN`` key, ``before``/``after`` measurement dicts,
+  the headline ``speedup`` ratio and the ``equivalent`` flag asserting the
+  optimized path reproduced the reference results.  Suite-specific detail
+  rides in ``extras`` and serializes flat, so the on-disk layout of the
+  committed ``BENCH_*.json`` files is unchanged.
+- :func:`bench_key` / :func:`write_bench_record` — the seed-keyed JSON
+  merge used by every suite (moved here from ``bench.py``; re-exported
+  there for compatibility).
+
+``benchmarks/perf/check_regression.py`` imports
+:data:`REGRESSION_RATIO_FIELDS` from here, so adding a gated ratio to a
+suite is a one-line registry edit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+#: (label, path into the record) for every ratio the regression gate
+#: compares; a path absent from a record is skipped, never an error
+REGRESSION_RATIO_FIELDS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("speedup", ("speedup",)),
+    ("serve.speedup", ("serve", "speedup")),
+    ("float32.speedup_vs_float64", ("float32", "speedup_vs_float64")),
+)
+
+
+@dataclass(frozen=True)
+class BenchSuite:
+    """Registry entry for one benchmark suite."""
+
+    name: str
+    schema: str
+    default_out: str
+    description: str
+    ratio_fields: tuple[tuple[str, tuple[str, ...]], ...] = REGRESSION_RATIO_FIELDS
+
+
+SUITES: dict[str, BenchSuite] = {
+    suite.name: suite
+    for suite in (
+        BenchSuite(
+            name="fs",
+            schema="repro.bench.fs/v1",
+            default_out="BENCH_fs.json",
+            description="FS discovery: reference scalar loop vs batched CI engine",
+        ),
+        BenchSuite(
+            name="nn",
+            schema="repro.bench.nn/v1",
+            default_out="BENCH_nn.json",
+            description="cGAN training/serving: frozen reference vs fused engine",
+        ),
+        BenchSuite(
+            name="serve",
+            schema="repro.bench.serve/v1",
+            default_out="BENCH_serve.json",
+            description="pipeline serving: naive predict_proba vs compiled plan",
+        ),
+    )
+}
+
+
+def get_suite(name: str) -> BenchSuite:
+    if name not in SUITES:
+        raise KeyError(f"unknown bench suite {name!r}; known: {sorted(SUITES)}")
+    return SUITES[name]
+
+
+def suite_for_schema(schema: str) -> BenchSuite | None:
+    """The registered suite owning ``schema``, or None for foreign files."""
+    for suite in SUITES.values():
+        if suite.schema == schema:
+            return suite
+    return None
+
+
+@dataclass
+class BenchRecord:
+    """The record shape shared by every suite.
+
+    ``extras`` carries suite-specific measurements (GAN timings, serve
+    telemetry, scaling metadata, …) and serializes *flat* alongside the
+    shared fields, so :meth:`to_dict` output is byte-compatible with the
+    pre-registry per-suite layouts.
+    """
+
+    suite: str
+    dataset: str
+    preset: str
+    seed: int
+    before: dict
+    after: dict
+    speedup: float
+    equivalent: bool
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return f"{self.dataset}/{self.preset}/seed{self.seed}"
+
+    def to_dict(self) -> dict:
+        doc = {
+            "dataset": self.dataset,
+            "preset": self.preset,
+            "seed": self.seed,
+            "before": self.before,
+            "after": self.after,
+            "speedup": self.speedup,
+            "equivalent": self.equivalent,
+        }
+        for key, value in self.extras.items():
+            doc.setdefault(key, value)
+        return doc
+
+    @classmethod
+    def from_dict(cls, suite: str, record: dict) -> "BenchRecord":
+        shared = ("dataset", "preset", "seed", "before", "after", "speedup",
+                  "equivalent")
+        return cls(
+            suite=suite,
+            dataset=str(record.get("dataset", "")),
+            preset=str(record.get("preset", "")),
+            seed=int(record.get("seed", 0)),
+            before=dict(record.get("before", {})),
+            after=dict(record.get("after", {})),
+            speedup=float(record.get("speedup", 0.0)),
+            equivalent=bool(record.get("equivalent", False)),
+            extras={k: v for k, v in record.items() if k not in shared},
+        )
+
+
+def bench_key(record: dict | BenchRecord) -> str:
+    """The seed-keyed slot a record occupies in its benchmark file."""
+    if isinstance(record, BenchRecord):
+        return record.key
+    return f"{record['dataset']}/{record['preset']}/seed{record['seed']}"
+
+
+def write_bench_record(
+    record: dict | BenchRecord, path: str, *, schema: str
+) -> None:
+    """Merge ``record`` into the JSON file at ``path`` (created if absent).
+
+    ``schema`` tags the file; an existing file with a different schema is
+    rewritten from scratch rather than mixed (each suite owns its file).
+    """
+    if isinstance(record, BenchRecord):
+        record = record.to_dict()
+    doc = {"schema": schema, "records": {}}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                existing = json.load(fh)
+            if isinstance(existing, dict) and existing.get("schema") == schema:
+                doc["records"].update(existing.get("records", {}))
+        except (ValueError, OSError):
+            pass  # unreadable file: rewrite from scratch
+    doc["records"][bench_key(record)] = record
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+__all__ = [
+    "REGRESSION_RATIO_FIELDS",
+    "BenchRecord",
+    "BenchSuite",
+    "SUITES",
+    "bench_key",
+    "get_suite",
+    "suite_for_schema",
+    "write_bench_record",
+]

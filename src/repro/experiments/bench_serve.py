@@ -18,7 +18,12 @@ import numpy as np
 
 from repro.core.config import ReconstructionConfig
 from repro.core.pipeline import FSGANPipeline
-from repro.experiments.bench import bench_key, write_bench_record
+from repro.experiments.bench_registry import (
+    BenchRecord,
+    bench_key,
+    get_suite,
+    write_bench_record,
+)
 from repro.experiments.models import model_factories
 from repro.experiments.presets import ExperimentPreset, get_preset
 from repro.experiments.runner import make_benchmark
@@ -27,7 +32,8 @@ from repro.obs.metrics import MetricsRegistry, set_metrics
 from repro.obs.trace import Stopwatch, get_tracer
 
 #: schema tag stamped into every benchmark file this module writes
-BENCH_SERVE_SCHEMA = "repro.bench.serve/v1"
+#: (owned by the suite registry; kept as a module constant for callers)
+BENCH_SERVE_SCHEMA = get_suite("serve").schema
 
 
 def bench_serve_record(
@@ -178,18 +184,18 @@ def run_bench_serve(
     with get_tracer().span("bench_serve.fit", dataset=dataset, preset=preset.name):
         pipeline.fit(bench.X_source, bench.y_source, Xt_few)
 
-    record = bench_serve_record(
-        pipeline, Xt_test, rounds=rounds, n_draws=n_draws
-    )
-    record.update(
-        {
-            "dataset": dataset,
-            "preset": preset.name,
-            "seed": random_state,
-            "model": model,
-            "shots": shots,
-        }
-    )
+    timed = bench_serve_record(pipeline, Xt_test, rounds=rounds, n_draws=n_draws)
+    record = BenchRecord(
+        suite="serve",
+        dataset=dataset,
+        preset=preset.name,
+        seed=random_state,
+        before=timed.pop("before"),
+        after=timed.pop("after"),
+        speedup=timed.pop("speedup"),
+        equivalent=timed.pop("equivalent"),
+        extras={**timed, "model": model, "shots": shots},
+    ).to_dict()
     if out:
         write_bench_record(record, out, schema=BENCH_SERVE_SCHEMA)
         logger.info("benchmark record written to %s", out)

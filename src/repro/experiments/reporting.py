@@ -162,6 +162,25 @@ def format_bench(record: dict) -> str:
     return "\n".join(lines)
 
 
+def format_bench_wide(records: list[dict]) -> str:
+    """Render the ``repro bench --suite fs --wide`` scaling curve."""
+    lines = [
+        "Wide-scale FS scaling (pre-PR engine vs wide path, "
+        "min-of-rounds wall clock)",
+        "  width | before (s) | after (s) | speedup | tests before/after | "
+        "equivalent",
+    ]
+    for record in records:
+        before, after = record["before"], record["after"]
+        lines.append(
+            f"  {record['n_features']:5d} | {before['fs_seconds']:10.2f} | "
+            f"{after['fs_seconds']:9.2f} | {record['speedup']:6.2f}x | "
+            f"{before['n_ci_tests']:6d} / {after['n_ci_tests']:6d}     | "
+            + ("yes" if record["equivalent"] else "NO — RESULTS DIFFER")
+        )
+    return "\n".join(lines)
+
+
 def format_bench_nn(record: dict) -> str:
     """Render the ``repro bench --suite nn`` fused-engine summary."""
     before, after = record["before"], record["after"]

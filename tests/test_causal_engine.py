@@ -109,10 +109,10 @@ class TestConditionalCache:
     def test_search_skips_cleared_marginal(self, domain_pair):
         Xs, Xt = domain_pair
         engine = CIEngine(Xs, Xt)
-        best_p, separating, n_tests, log = engine.search_feature(
+        best_p, separating, n_tests, log, completed = engine.search_feature(
             0, (1, 2), 0.9, alpha=0.01, max_cond_size=2
         )
-        assert (best_p, separating, n_tests, log) == (0.9, (), 0, [])
+        assert (best_p, separating, n_tests, log, completed) == (0.9, (), 0, [], True)
 
 
 class TestReferenceEquivalence:
@@ -136,6 +136,37 @@ class TestParallelEquivalence:
         assert serial.parent_sets == parallel.parent_sets
         assert serial.n_tests == parallel.n_tests
 
+    def test_shared_memory_bit_identical_to_serial(self, domain_pair):
+        from repro.causal.shm import SHM_AVAILABLE
+
+        if not SHM_AVAILABLE:
+            pytest.skip("shared memory unavailable on this platform")
+        Xs, Xt = domain_pair
+        serial = FNodeDiscovery(n_jobs=1).discover(Xs, Xt)
+        shm = FNodeDiscovery(n_jobs=2, use_shared_memory=True).discover(Xs, Xt)
+        np.testing.assert_array_equal(serial.p_values, shm.p_values)
+        assert serial.parent_sets == shm.parent_sets
+        assert serial.n_tests == shm.n_tests
+
+    def test_pickling_fallback_bit_identical(self, domain_pair):
+        Xs, Xt = domain_pair
+        serial = FNodeDiscovery(n_jobs=1).discover(Xs, Xt)
+        pickled = FNodeDiscovery(n_jobs=2, use_shared_memory=False).discover(Xs, Xt)
+        np.testing.assert_array_equal(serial.p_values, pickled.p_values)
+        assert serial.parent_sets == pickled.parent_sets
+        assert serial.n_tests == pickled.n_tests
+
+    def test_no_shared_memory_segments_leak(self, domain_pair):
+        import glob
+
+        from repro.causal.shm import SHM_AVAILABLE
+
+        if not SHM_AVAILABLE:
+            pytest.skip("shared memory unavailable on this platform")
+        Xs, Xt = domain_pair
+        FNodeDiscovery(n_jobs=2, use_shared_memory=True).discover(Xs, Xt)
+        assert glob.glob("/dev/shm/repro_fs_*") == []
+
     @pytest.mark.parametrize("n_jobs", [1, 2])
     def test_obs_counters_match_n_tests(self, domain_pair, tmp_path, n_jobs):
         Xs, Xt = domain_pair
@@ -157,7 +188,13 @@ class TestParallelEquivalence:
         assert resolve_n_jobs(None) == 1
         assert resolve_n_jobs(3) == 3
         assert resolve_n_jobs(-1) >= 1
-        with pytest.raises(ValidationError):
+        with pytest.raises(ValidationError, match="got 0"):
             resolve_n_jobs(0)
-        with pytest.raises(ValidationError):
+        with pytest.raises(ValidationError, match="got -2"):
             resolve_n_jobs(-2)
+        with pytest.raises(ValidationError, match="-1 \\(all cores\\)"):
+            resolve_n_jobs(-4)
+        with pytest.raises(ValidationError):
+            resolve_n_jobs(True)
+        with pytest.raises(ValidationError):
+            resolve_n_jobs(2.5)
