@@ -10,9 +10,13 @@ Usage::
     python -m repro bench --dataset 5gc --preset smoke --n-jobs -1
     python -m repro bench --suite nn --dataset 5gc --preset smoke
     python -m repro bench --suite serve --dataset 5gc --preset smoke
+    python -m repro bench --suite serve --sustained --tenants 3 --rate 300
     python -m repro serve --artifact pipe.npz --input batch.npy --output scores.npz
     python -m repro serve --artifact pipe.npz --input batch.npy --repeat 100 \\
         --track-drift --prom-port 9464 --snapshot-out metrics.jsonl
+    python -m repro serve --daemon --root artifacts --port 8350
+    python -m repro loadgen --root artifacts --input batch.npy --mode open \\
+        --rate 200 --duration 5
     python -m repro obs summary runs/runtime-dataset=5gc-preset=smoke-seed=0
     python -m repro obs tail runs/... --kind drift.alarm
     python -m repro obs diff runs/a runs/b
@@ -23,6 +27,12 @@ prints it in the paper's layout (see EXPERIMENTS.md for the mapping).
 shutdown and can expose a live Prometheus endpoint (``--prom-port``),
 periodic metric snapshots (``--snapshot-out``) and streaming drift scores
 against the artifact's training reference (``--track-drift``).
+``repro serve --daemon`` instead runs the long-lived multi-tenant daemon:
+an LRU cache of compiled per-tenant plans over ``--root``, same-tenant
+micro-batch coalescing, and an HTTP scoring front on ``--port``.
+``repro loadgen`` drives seeded mixed-tenant traffic (open-loop Poisson
+or closed-loop saturation) at a daemon — in-process by default, over
+HTTP with ``--http`` or against an external ``--url``.
 ``repro obs`` inspects the run bundles that ``--trace`` writes.
 
 Observability flags (available on every subcommand):
@@ -46,22 +56,16 @@ import os
 import sys
 
 from repro.experiments import (
+    SUITES,
     format_ablation,
-    format_bench,
-    format_bench_nn,
-    format_bench_serve,
-    format_bench_wide,
     format_multitarget,
     format_runtime,
     format_table1,
     format_variant_counts,
     get_preset,
+    get_suite,
     measure_runtime,
     run_ablation,
-    run_bench,
-    run_bench_nn,
-    run_bench_serve,
-    run_bench_wide,
     run_multitarget,
     run_table1,
     summarize_improvement,
@@ -143,11 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="perf benchmark: FS CI engine or the fused NN training engine",
     )
     add_common(p)
-    p.add_argument("--suite", choices=("fs", "nn", "serve"), default="fs",
-                   help="fs = batched CI engine vs reference FS loop; "
-                   "nn = fused cGAN training/serving vs the frozen "
-                   "reference implementations; serve = compiled inference "
-                   "plan vs the naive pipeline serve path")
+    p.add_argument("--suite", choices=tuple(sorted(SUITES)), default="fs",
+                   help="; ".join(
+                       f"{name} = {suite.description}"
+                       for name, suite in sorted(SUITES.items())
+                   ))
     p.add_argument("--shots", type=int, default=10,
                    help="few-shot target budget for FS discovery "
                    "(fs/serve suites)")
@@ -170,16 +174,52 @@ def build_parser() -> argparse.ArgumentParser:
                    "(default 442,1024)")
     p.add_argument("--rounds", type=int, default=2,
                    help="fs --wide: timing rounds per side (min is kept)")
+    p.add_argument("--sustained", action="store_true",
+                   help="serve suite: benchmark the multi-tenant daemon "
+                   "under sustained load (closed-loop throughput + "
+                   "open-loop latency) instead of the one-shot plan")
+    p.add_argument("--tenants", type=int, default=3,
+                   help="serve --sustained: tenant artifacts to fit and serve")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="serve --sustained: seconds per measured pass")
+    p.add_argument("--rate", type=float, default=300.0,
+                   help="serve --sustained: open-loop offered rate (req/s)")
+    p.add_argument("--clients", type=int, default=8,
+                   help="serve --sustained: concurrent client threads")
 
     p = sub.add_parser(
         "serve",
-        help="score a batch through a compiled plan loaded from an artifact",
+        help="score a batch through a compiled plan, or run the "
+        "multi-tenant serving daemon (--daemon)",
     )
     add_common(p, dataset=False)
-    p.add_argument("--artifact", required=True, metavar="PATH",
-                   help="fsgan_pipeline artifact bundle (.npz)")
-    p.add_argument("--input", required=True, metavar="PATH",
-                   help="feature batch: .npy, .npz (array 'X') or .csv")
+    p.add_argument("--daemon", action="store_true",
+                   help="run the long-lived multi-tenant daemon over an "
+                   "artifact directory instead of one-shot scoring")
+    p.add_argument("--artifact", metavar="PATH",
+                   help="fsgan_pipeline artifact bundle (.npz; one-shot mode)")
+    p.add_argument("--input", metavar="PATH",
+                   help="feature batch: .npy, .npz (array 'X') or .csv "
+                   "(one-shot mode)")
+    daemon = p.add_argument_group("daemon mode")
+    daemon.add_argument("--root", metavar="DIR", default="artifacts",
+                        help="directory of <tenant>.npz artifact bundles")
+    daemon.add_argument("--host", default="127.0.0.1",
+                        help="HTTP bind address (default 127.0.0.1)")
+    daemon.add_argument("--port", type=int, default=8350,
+                        help="HTTP port (0 = ephemeral; default 8350)")
+    daemon.add_argument("--max-batch-rows", type=int, default=256,
+                        metavar="N",
+                        help="micro-batch capacity in rows (default 256)")
+    daemon.add_argument("--max-wait-ms", type=float, default=2.0,
+                        metavar="MS",
+                        help="idle linger before scoring an uncoalesced "
+                        "request (default 2 ms)")
+    daemon.add_argument("--cache-size", type=int, default=8, metavar="N",
+                        help="tenants kept hot in the LRU plan cache")
+    daemon.add_argument("--no-coalesce", action="store_true",
+                        help="score every request in its own padded "
+                        "execution (baseline mode)")
     p.add_argument("--output", metavar="PATH", default=None,
                    help="write proba + labels to .npz or .json")
     p.add_argument("--n-draws", type=int, default=1,
@@ -199,6 +239,43 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="snapshot period (with --snapshot-out); default: one "
                    "snapshot at shutdown")
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive mixed-tenant request traffic at a serving daemon",
+    )
+    add_common(p, dataset=False)
+    target = p.add_mutually_exclusive_group(required=True)
+    target.add_argument("--root", metavar="DIR",
+                        help="artifact directory: spin up an in-process "
+                        "daemon over it and drive that")
+    target.add_argument("--url", metavar="URL",
+                        help="drive an already-running daemon's HTTP front "
+                        "(http://host:port)")
+    p.add_argument("--input", required=True, metavar="PATH",
+                   help="feature rows the traffic slices from: .npy, .npz "
+                   "(array 'X') or .csv")
+    p.add_argument("--tenants", nargs="*", default=None, metavar="NAME",
+                   help="tenant names to mix (default: every bundle under "
+                   "--root; required with --url)")
+    p.add_argument("--mode", choices=("open", "closed"), default="open",
+                   help="open = Poisson arrivals at --rate; closed = "
+                   "saturation (clients submit back-to-back)")
+    p.add_argument("--duration", type=float, default=5.0,
+                   help="seconds of load (default 5)")
+    p.add_argument("--rate", type=float, default=200.0,
+                   help="open-loop offered rate in requests/sec")
+    p.add_argument("--clients", type=int, default=8,
+                   help="client threads (default 8)")
+    p.add_argument("--rows", default="1,8", metavar="LO,HI",
+                   help="rows per request, uniform in [LO, HI] (default 1,8)")
+    p.add_argument("--http", action="store_true",
+                   help="with --root: drive the in-process daemon through "
+                   "its HTTP front instead of direct submits")
+    p.add_argument("--n-draws", type=int, default=1,
+                   help="Monte-Carlo draws per sample (in-process daemon)")
+    p.add_argument("--max-batch-rows", type=int, default=256, metavar="N",
+                   help="micro-batch capacity (in-process daemon)")
 
     p = sub.add_parser(
         "obs",
@@ -286,54 +363,34 @@ def _dispatch(args, preset) -> None:
             n_jobs=args.n_jobs,
         )))
     elif args.command == "bench":
-        if args.suite == "nn":
-            out = args.out or "BENCH_nn.json"
-            record = run_bench_nn(
-                args.dataset,
-                preset=preset,
-                epochs=args.epochs,
-                random_state=args.seed,
-                out=out,
-            )
-            print(format_bench_nn(record))
-        elif args.suite == "serve":
-            out = args.out or "BENCH_serve.json"
-            record = run_bench_serve(
-                args.dataset,
-                preset=preset,
-                n_draws=args.draws,
-                shots=args.shots,
-                random_state=args.seed,
-                out=out,
-            )
-            print(format_bench_serve(record))
-        elif args.wide:
-            out = args.out or "BENCH_fs.json"
-            widths = tuple(int(w) for w in args.widths.split(",") if w.strip())
-            records = run_bench_wide(
-                widths,
-                n_jobs=args.n_jobs,
-                fs_rounds=args.rounds,
-                random_state=args.seed,
-                out=out,
-            )
-            print(format_bench_wide(records))
-        else:
-            out = args.out or "BENCH_fs.json"
-            record = run_bench(
-                args.dataset,
-                preset=preset,
-                shots=args.shots,
-                n_jobs=args.n_jobs,
-                include_gan=not args.skip_gan,
-                random_state=args.seed,
-                out=out,
-            )
-            print(format_bench(record))
+        # one registry drives every suite: the suite's CLI adapter hook
+        # runs the benchmark and returns the report (ROADMAP item 5)
+        suite = get_suite(args.suite)
+        out = args.out or suite.default_out
+        print(suite.run_cli(args, preset, out))
         print(f"\nrecord merged into {out}")
+    elif args.command == "serve" and args.daemon:
+        from repro.serve import DaemonConfig, run_daemon
+
+        run_daemon(DaemonConfig(
+            root=args.root,
+            host=args.host,
+            port=args.port,
+            n_draws=args.n_draws,
+            micro_batch_rows=args.max_batch_rows,
+            max_wait=args.max_wait_ms / 1e3,
+            cache_size=args.cache_size,
+            coalesce=not args.no_coalesce,
+            prom_port=args.prom_port,
+        ))
     elif args.command == "serve":
         from repro.serve import run_serve
 
+        if not args.artifact or not args.input:
+            raise SystemExit(
+                "repro serve: --artifact and --input are required "
+                "(or use --daemon --root DIR)"
+            )
         summary = run_serve(
             args.artifact,
             args.input,
@@ -379,6 +436,45 @@ def _dispatch(args, preset) -> None:
             print(f"  metrics exposed at {summary['prometheus']}")
         if "output" in summary:
             print(f"scores written to {summary['output']}")
+    elif args.command == "loadgen":
+        from contextlib import ExitStack
+
+        from repro.experiments import format_loadgen, run_loadgen
+        from repro.serve import DaemonConfig, ServeDaemon, read_input
+
+        X = read_input(args.input)
+        lo, _, hi = args.rows.partition(",")
+        rows_per_request = (int(lo), int(hi or lo))
+        with ExitStack() as stack:
+            if args.url:
+                if not args.tenants:
+                    raise SystemExit(
+                        "repro loadgen: --tenants is required with --url"
+                    )
+                target, tenants = args.url, list(args.tenants)
+            else:
+                daemon = stack.enter_context(ServeDaemon(DaemonConfig(
+                    root=args.root,
+                    port=0 if args.http else None,
+                    n_draws=args.n_draws,
+                    micro_batch_rows=args.max_batch_rows,
+                )))
+                tenants = list(args.tenants or daemon.cache.known_tenants())
+                if not tenants:
+                    raise SystemExit(
+                        f"repro loadgen: no tenant bundles under {args.root}"
+                    )
+                target = daemon.url if args.http else daemon
+            result = run_loadgen(
+                target, X, tenants,
+                mode=args.mode,
+                duration=args.duration,
+                rate=args.rate,
+                clients=args.clients,
+                rows_per_request=rows_per_request,
+                seed=args.seed,
+            )
+        print(format_loadgen(result))
 
 
 def _dispatch_obs(args) -> int:

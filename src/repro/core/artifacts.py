@@ -163,7 +163,10 @@ def load_artifact(path, *, verify_hash: bool = True) -> LoadedArtifact:
     path = Path(path)
     if not path.exists():
         raise ArtifactError(f"no artifact file at {path}")
-    data = np.load(path, allow_pickle=False)
+    try:
+        data = np.load(path, allow_pickle=False)
+    except Exception as exc:  # truncated / half-written bundle
+        raise ArtifactError(f"unreadable artifact file {path}: {exc}") from exc
     if "meta_json" in data.files:
         return _load_legacy_adapter(data)
     if _MANIFEST_KEY not in data.files:

@@ -16,7 +16,12 @@ from repro.experiments.bench_registry import (
     bench_key,
     get_suite,
 )
-from repro.experiments.bench_serve import bench_serve_record, run_bench_serve
+from repro.experiments.bench_serve import (
+    bench_serve_record,
+    run_bench_serve,
+    run_bench_serve_sustained,
+)
+from repro.experiments.loadgen import build_requests, replay_capture, run_loadgen
 from repro.experiments.models import MODEL_NAMES, model_factories
 from repro.experiments.multitarget import run_multitarget
 from repro.experiments.presets import PRESETS, ExperimentPreset, get_preset
@@ -25,7 +30,9 @@ from repro.experiments.reporting import (
     format_bench,
     format_bench_nn,
     format_bench_serve,
+    format_bench_serve_sustained,
     format_bench_wide,
+    format_loadgen,
     format_multitarget,
     format_runtime,
     format_table1,
@@ -52,11 +59,14 @@ __all__ = [
     "SUITES",
     "SharedArtifacts",
     "bench_key",
+    "build_requests",
     "format_ablation",
     "format_bench",
     "format_bench_nn",
     "format_bench_serve",
+    "format_bench_serve_sustained",
     "format_bench_wide",
+    "format_loadgen",
     "format_multitarget",
     "format_runtime",
     "format_table1",
@@ -68,12 +78,15 @@ __all__ = [
     "measure_runtime",
     "model_factories",
     "reference_discover",
+    "replay_capture",
     "run_ablation",
     "run_bench",
     "bench_serve_record",
     "run_bench_nn",
     "run_bench_serve",
+    "run_bench_serve_sustained",
     "run_bench_wide",
+    "run_loadgen",
     "run_multitarget",
     "run_table1",
     "selection_variance",

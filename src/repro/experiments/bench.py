@@ -384,3 +384,61 @@ def run_bench_wide(
             write_bench_record(record, out)
             logger.info("benchmark record written to %s", out)
     return records
+
+
+def cli_bench(args, preset, out: str) -> str:
+    """CLI adapter for ``repro bench --suite fs`` (the registry hook)."""
+    from repro.experiments.reporting import format_bench, format_bench_wide
+
+    if getattr(args, "wide", False):
+        widths = tuple(int(w) for w in args.widths.split(",") if w.strip())
+        records = run_bench_wide(
+            widths,
+            n_jobs=args.n_jobs,
+            fs_rounds=args.rounds,
+            random_state=args.seed,
+            out=out,
+        )
+        return format_bench_wide(records)
+    record = run_bench(
+        args.dataset,
+        preset=preset,
+        shots=args.shots,
+        n_jobs=args.n_jobs,
+        include_gan=not args.skip_gan,
+        random_state=args.seed,
+        out=out,
+    )
+    return format_bench(record)
+
+
+def check_fs_record(record: dict) -> list[str]:
+    """FS-suite equivalence oracle (the registry hook).
+
+    Beyond the shared record shape: both sides must carry positive FS
+    wall-clock timings and have run the same number of CI tests.  In
+    pruned wide mode (flagged by ``after_mode``) the counts may drift a
+    little — pruning reshapes the adaptive test schedule, so ties break
+    differently — but the pruned engine running *materially more* tests
+    than the reference means pruning is not pruning.
+    """
+    problems = []
+    for side in ("before", "after"):
+        seconds = record[side].get("fs_seconds")
+        if not isinstance(seconds, (int, float)) or seconds <= 0:
+            problems.append(f"{side}.fs_seconds must be > 0, got {seconds!r}")
+    before_tests = record["before"].get("n_ci_tests")
+    after_tests = record["after"].get("n_ci_tests")
+    pruned = "prune" in str(record.get("after_mode", ""))
+    if before_tests is not None and after_tests is not None:
+        if not pruned and before_tests != after_tests:
+            problems.append(
+                f"CI test counts diverge without pruning: "
+                f"{before_tests} vs {after_tests}"
+            )
+        if pruned and after_tests > before_tests * 1.01 + 2:
+            problems.append(
+                f"pruned engine ran materially more tests than the "
+                f"reference: {after_tests} > {before_tests}"
+            )
+    return problems

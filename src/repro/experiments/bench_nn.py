@@ -208,5 +208,42 @@ def run_bench_nn(
     return record
 
 
+def cli_bench_nn(args, preset, out: str) -> str:
+    """CLI adapter for ``repro bench --suite nn`` (the registry hook)."""
+    from repro.experiments.reporting import format_bench_nn
+
+    record = run_bench_nn(
+        args.dataset,
+        preset=preset,
+        epochs=args.epochs,
+        random_state=args.seed,
+        out=out,
+    )
+    return format_bench_nn(record)
+
+
+def check_nn_record(record: dict) -> list[str]:
+    """NN-suite equivalence oracle (the registry hook).
+
+    The fused engine must have reproduced reference training bit for bit
+    (shared ``equivalent`` flag), its serve path must match within the
+    documented tolerance, and the float32 variant must sit inside its own
+    tolerance band.
+    """
+    problems = []
+    serve = record.get("serve", {})
+    if serve.get("equivalent") is not True:
+        problems.append("serve sub-record does not assert equivalence")
+    float32 = record.get("float32", {})
+    if float32 and float32.get("within_tolerance") is not True:
+        problems.append("float32 sub-record is outside tolerance")
+    for label, sub in (("serve", serve),):
+        diff = sub.get("max_abs_diff")
+        if diff is not None and not (isinstance(diff, (int, float))
+                                     and diff >= 0):
+            problems.append(f"{label}.max_abs_diff must be >= 0, got {diff!r}")
+    return problems
+
+
 __all__ = ["BENCH_NN_SCHEMA", "FLOAT32_ATOL", "FLOAT32_RTOL", "SERVE_ATOL",
-           "run_bench_nn", "bench_key"]
+           "cli_bench_nn", "check_nn_record", "run_bench_nn", "bench_key"]

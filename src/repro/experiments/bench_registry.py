@@ -5,8 +5,14 @@ schema constant, record layout and file-merge helper.  The registry pins
 them down in one place:
 
 - :class:`BenchSuite` — the per-suite contract: schema tag, default
-  record file, and which *ratio* fields the CI regression gate compares
-  (wall-clock seconds are machine-dependent; before/after ratios are not).
+  record file, which *ratio* fields the CI regression gate compares
+  (wall-clock seconds are machine-dependent; before/after ratios are not),
+  plus two lazily-resolved hooks: ``cli`` (the suite's CLI adapter, so
+  ``repro bench --suite X`` dispatches through this table instead of
+  hand-rolled branches) and ``oracle`` (the suite's record-equivalence
+  checker, shared by CI validation and tests).  Hooks are dotted
+  ``module:function`` strings resolved on first use, keeping this module
+  import-cycle-free.
 - :class:`BenchRecord` — the shared record shape every suite emits: a
   ``dataset/preset/seedN`` key, ``before``/``after`` measurement dicts,
   the headline ``speedup`` ratio and the ``equivalent`` flag asserting the
@@ -24,6 +30,7 @@ suite is a one-line registry edit.
 
 from __future__ import annotations
 
+import importlib
 import json
 import os
 from dataclasses import dataclass, field
@@ -37,6 +44,14 @@ REGRESSION_RATIO_FIELDS: tuple[tuple[str, tuple[str, ...]], ...] = (
 )
 
 
+def _resolve(dotted: str):
+    """Import a ``module:function`` hook reference."""
+    module_name, _, attr = dotted.partition(":")
+    if not module_name or not attr:
+        raise ValueError(f"hook reference must be 'module:function', got {dotted!r}")
+    return getattr(importlib.import_module(module_name), attr)
+
+
 @dataclass(frozen=True)
 class BenchSuite:
     """Registry entry for one benchmark suite."""
@@ -46,6 +61,44 @@ class BenchSuite:
     default_out: str
     description: str
     ratio_fields: tuple[tuple[str, tuple[str, ...]], ...] = REGRESSION_RATIO_FIELDS
+    #: dotted ``module:function`` of the suite's CLI adapter
+    #: (``fn(args, preset, out) -> str`` returning the report to print)
+    cli: str | None = None
+    #: dotted ``module:function`` of the suite's equivalence oracle
+    #: (``fn(record) -> list[str]`` of problems; empty = record is sound)
+    oracle: str | None = None
+
+    def run_cli(self, args, preset, out: str) -> str:
+        """Run the suite through its CLI adapter hook."""
+        if self.cli is None:
+            raise ValueError(f"suite {self.name!r} has no CLI adapter")
+        return _resolve(self.cli)(args, preset, out)
+
+    def check_record(self, record: dict) -> list[str]:
+        """Problems with a record: shared shape first, then the oracle."""
+        problems = check_record_shape(record)
+        if not problems and self.oracle is not None:
+            problems = list(_resolve(self.oracle)(record))
+        return problems
+
+
+def check_record_shape(record: dict) -> list[str]:
+    """Shared-schema problems of one bench record (empty list = fine)."""
+    problems = []
+    for key in ("dataset", "preset", "seed", "before", "after", "speedup"):
+        if key not in record:
+            problems.append(f"missing field {key!r}")
+    if problems:
+        return problems
+    if not isinstance(record["before"], dict) or not isinstance(
+            record["after"], dict):
+        problems.append("before/after must be measurement dicts")
+    speedup = record["speedup"]
+    if not isinstance(speedup, (int, float)) or not speedup > 0:
+        problems.append(f"speedup must be a positive number, got {speedup!r}")
+    if record.get("equivalent") is not True:
+        problems.append("record does not assert equivalence")
+    return problems
 
 
 SUITES: dict[str, BenchSuite] = {
@@ -56,18 +109,26 @@ SUITES: dict[str, BenchSuite] = {
             schema="repro.bench.fs/v1",
             default_out="BENCH_fs.json",
             description="FS discovery: reference scalar loop vs batched CI engine",
+            cli="repro.experiments.bench:cli_bench",
+            oracle="repro.experiments.bench:check_fs_record",
         ),
         BenchSuite(
             name="nn",
             schema="repro.bench.nn/v1",
             default_out="BENCH_nn.json",
             description="cGAN training/serving: frozen reference vs fused engine",
+            cli="repro.experiments.bench_nn:cli_bench_nn",
+            oracle="repro.experiments.bench_nn:check_nn_record",
         ),
         BenchSuite(
             name="serve",
             schema="repro.bench.serve/v1",
             default_out="BENCH_serve.json",
-            description="pipeline serving: naive predict_proba vs compiled plan",
+            description="pipeline serving: naive predict_proba vs compiled "
+            "plan (one-shot), or the micro-batching daemon under sustained "
+            "mixed-tenant load (--sustained)",
+            cli="repro.experiments.bench_serve:cli_bench_serve",
+            oracle="repro.experiments.bench_serve:check_serve_record",
         ),
     )
 }
@@ -180,6 +241,7 @@ __all__ = [
     "BenchSuite",
     "SUITES",
     "bench_key",
+    "check_record_shape",
     "get_suite",
     "suite_for_schema",
     "write_bench_record",

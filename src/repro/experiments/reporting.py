@@ -269,3 +269,72 @@ def format_bench_serve(record: dict) -> str:
             f"vs disabled"
         )
     return "\n".join(lines)
+
+
+def format_bench_serve_sustained(record: dict) -> str:
+    """Render the ``repro bench --suite serve --sustained`` daemon summary."""
+    before, after = record["before"], record["after"]
+    open_loop = record["open_loop"]
+    latency = open_loop["latency"]
+    lines = [
+        f"Sustained serve benchmark ({record['dataset']}, "
+        f"base preset={record['base_preset']}, seed={record['seed']}, "
+        f"{record['tenants']} tenants, {record['clients']} clients, "
+        f"{record['duration']:.1f}s per pass, "
+        f"capacity={record['micro_batch_rows']} rows)",
+        f"  per-request daemon: {before['rows_per_sec']:10.0f} rows/s "
+        f"({before['requests_per_sec']:.0f} req/s, closed loop)",
+        f"  micro-batched:      {after['rows_per_sec']:10.0f} rows/s "
+        f"({after['requests_per_sec']:.0f} req/s, "
+        f"mean fill {after['mean_batch_requests']:.1f} req/batch)",
+        f"  speedup:            {record['speedup']:10.2f}x "
+        + (
+            "(replay bit-identical)"
+            if record["equivalent"]
+            else f"(max|diff| {record['max_abs_diff']:.2e} — RESULTS DIFFER)"
+        ),
+        f"  open loop @ {open_loop['offered_rate']:.0f} req/s: achieved "
+        f"{open_loop['achieved_rps']:.0f} req/s "
+        f"({open_loop['rows_per_sec']:.0f} rows/s, "
+        f"{open_loop['requests']} requests, {open_loop['errors']} errors)",
+        f"  latency:            p50={1e3 * latency['p50']:7.2f} ms  "
+        f"p90={1e3 * latency['p90']:7.2f} ms  "
+        f"p99={1e3 * latency['p99']:7.2f} ms",
+    ]
+    return "\n".join(lines)
+
+
+def format_loadgen(result: dict) -> str:
+    """Render a ``repro loadgen`` traffic summary."""
+    lines = [
+        f"Loadgen ({result['mode']} loop, {result['clients']} clients, "
+        f"{result['elapsed_seconds']:.2f}s elapsed, seed={result['seed']})",
+        f"  requests: {result['requests']} ({result['rows']} rows, "
+        f"{result['errors']} errors)",
+        f"  throughput: {result['achieved_rps']:.0f} req/s, "
+        f"{result['rows_per_sec']:.0f} rows/s"
+        + (
+            f" (offered {result['offered_rate']:.0f} req/s)"
+            if "offered_rate" in result else ""
+        ),
+    ]
+    latency = result.get("latency") or {}
+    if latency.get("count"):
+        lines.append(
+            f"  latency: p50={1e3 * latency['p50']:7.2f} ms  "
+            f"p90={1e3 * latency['p90']:7.2f} ms  "
+            f"p99={1e3 * latency['p99']:7.2f} ms  "
+            f"max={1e3 * latency['max']:7.2f} ms"
+        )
+    for tenant in sorted(result.get("per_tenant", {})):
+        stats = result["per_tenant"][tenant]
+        if not stats["requests"]:
+            continue
+        lines.append(
+            f"    {tenant:<12} {stats['requests']:6d} req "
+            f"{stats['rows']:7d} rows  p50={1e3 * stats['p50']:7.2f} ms  "
+            f"p99={1e3 * stats['p99']:7.2f} ms"
+        )
+    if "first_error" in result:
+        lines.append(f"  first error: {result['first_error']}")
+    return "\n".join(lines)

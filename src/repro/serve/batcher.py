@@ -1,0 +1,410 @@
+"""Micro-batching: coalesce same-tenant requests into one padded execution.
+
+Two pieces back the daemon's scoring plane:
+
+:class:`PaddedExecutor`
+    A fixed-capacity scorer wrapped around a compiled
+    :class:`~repro.serve.plan.InferencePlan`.  Every execution — a single
+    request or a coalesced micro-batch — runs the plan's stages at exactly
+    ``capacity`` rows (zero-padded, results sliced back per request), and
+    noise is drawn with one RNG call per request in admission order.  Both
+    choices exist for one reason: **bit-identity across coalescing
+    patterns**.  BLAS GEMM row results are *not* stable across batch sizes
+    (an M=1 call can differ from the same row inside an M=64 call in the
+    last ULP), but zero-padding to a fixed M is exact — a padded row can
+    never perturb another row through elementwise ops, row-broadcast
+    BatchNorm inference statistics, or row-wise matmuls.  Scoring requests
+    ``[A, B]`` coalesced is therefore bit-identical to scoring ``[A]``
+    then ``[B]``, whatever the sizes.
+
+:class:`MicroBatcher`
+    A thread-safe admission queue plus a single scorer thread.  Requests
+    enqueue per tenant in FIFO order; the scorer coalesces the head of one
+    tenant's queue into a micro-batch of at most ``capacity`` rows,
+    optionally lingering ``max_wait`` seconds when it is otherwise idle,
+    and scores it through the tenant's cached executor.  A single scorer
+    keeps each tenant's RNG consumption deterministic: per-tenant scoring
+    order equals per-tenant admission order (the ``seq`` number on every
+    request), so a run can be replayed request-by-request bit for bit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.gan.autoencoder import VanillaAutoencoder
+from repro.gan.cgan import ConditionalGAN
+from repro.gan.vae import ConditionalVAE
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
+from repro.utils.errors import ValidationError
+
+__all__ = ["MicroBatcher", "PaddedExecutor", "PendingRequest"]
+
+#: default fixed row capacity of a padded execution
+DEFAULT_CAPACITY = 256
+
+
+class PaddedExecutor:
+    """Fixed-capacity micro-batch scorer over a compiled plan.
+
+    Every :meth:`score` call runs the plan's stage chain at exactly
+    ``capacity`` rows (generator stages at ``n_draws * capacity``), so the
+    per-row results are a pure function of that row's input and its
+    request's noise draws — independent of how requests were coalesced.
+    """
+
+    def __init__(self, plan, *, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValidationError("micro-batch capacity must be >= 1")
+        self.plan = plan
+        self.capacity = int(capacity)
+
+    def check_request(self, X) -> np.ndarray:
+        """Validate one request batch; returns a float64 C-order copy."""
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.ndim != 2 or X.shape[0] < 1:
+            raise ValidationError(
+                f"request batch must be 2-D with >= 1 row, got shape {X.shape}"
+            )
+        if X.shape[1] != self.plan._n_features:
+            raise ValidationError(
+                f"expected {self.plan._n_features} features, got {X.shape[1]}"
+            )
+        if X.shape[0] > self.capacity:
+            raise ValidationError(
+                f"request of {X.shape[0]} rows exceeds the micro-batch "
+                f"capacity of {self.capacity}"
+            )
+        return X
+
+    def score(self, segments) -> list[np.ndarray]:
+        """Score a coalesced micro-batch; one proba array per segment.
+
+        ``segments`` is a list of per-request row blocks (already
+        validated via :meth:`check_request`) whose total row count must
+        fit the capacity.  Noise is drawn per segment in list order, so
+        the segmentation never changes any request's scores.
+        """
+        plan = self.plan
+        sizes = [int(seg.shape[0]) for seg in segments]
+        m = sum(sizes)
+        if m == 0:
+            return []
+        if m > self.capacity:
+            raise ValidationError(
+                f"micro-batch of {m} rows exceeds capacity {self.capacity}"
+            )
+        capacity = self.capacity
+        ws = plan._ws
+        with get_tracer().span("daemon.micro_batch", rows=m,
+                               requests=len(segments)):
+            Xp = ws.get("mb_x", (capacity, plan._n_features))
+            off = 0
+            for seg, n in zip(segments, sizes):
+                Xp[off:off + n] = seg
+                off += n
+            Xp[m:] = 0.0
+            Xs = plan._scale_stage(Xp)
+            if plan.drift_tracker is not None:
+                plan.drift_tracker.update(Xs[:m])
+            X_inv = plan._split_stage(Xs)
+            X_var = self._reconstruct(X_inv, sizes, m)
+            merged = plan._merge_stage(X_inv, X_var)
+            proba = plan.model.predict_proba(merged)
+        out = []
+        off = 0
+        for n in sizes:
+            out.append(proba[off:off + n].copy())
+            off += n
+        return out
+
+    def _reconstruct(self, X_inv: np.ndarray, sizes: list[int],
+                     m: int) -> np.ndarray:
+        """Padded variant reconstruction with per-request noise draws."""
+        plan = self.plan
+        recon, ws, n_draws = plan._recon, plan._ws, plan.n_draws
+        capacity = self.capacity
+        if isinstance(recon, (ConditionalGAN, ConditionalVAE)):
+            code_dim = (recon.noise_dim if isinstance(recon, ConditionalGAN)
+                        else recon.latent_dim)
+            network = (recon.generator_ if isinstance(recon, ConditionalGAN)
+                       else recon.decoder_)
+            dt = getattr(recon, "_dtype", np.dtype(np.float64))
+            n_inv = plan._n_inv
+            g_in = ws.get("mb_g_in", (n_draws * capacity, n_inv + code_dim), dt)
+            z = ws.get("mb_z", (n_draws * capacity, code_dim), np.float64)
+            off = 0
+            for n in sizes:
+                g_off = n_draws * off
+                block = slice(g_off, g_off + n_draws * n)
+                # one draw per request, in admission order — the exact RNG
+                # consumption pattern of per-request scoring
+                plan._rng.standard_normal(out=z[block])
+                for d in range(n_draws):
+                    g_in[g_off + d * n:g_off + (d + 1) * n, :n_inv] = (
+                        X_inv[off:off + n]
+                    )
+                g_in[block, n_inv:] = z[block]
+                off += n
+            g_in[n_draws * m:] = 0.0
+            out = network.forward(g_in, training=False)
+            var_hat = ws.zeros("mb_var", (capacity, plan._n_var))
+            off = 0
+            for n in sizes:
+                g_off = n_draws * off
+                draws = out[g_off:g_off + n_draws * n].reshape(
+                    n_draws, n, plan._n_var
+                )
+                total = var_hat[off:off + n]
+                # sequential accumulate, same add order as the plain plan
+                for d in range(n_draws):
+                    total += draws[d]
+                total /= n_draws
+                off += n
+            return var_hat
+        if isinstance(recon, VanillaAutoencoder):
+            out = recon.network_.forward(X_inv, training=False)
+            var_hat = ws.get("mb_var", (capacity, plan._n_var))
+            var_hat[...] = out
+            return var_hat
+        # identity reconstructor (empty variant block)
+        return ws.zeros("mb_var", (capacity, plan._n_var))
+
+
+class PendingRequest:
+    """One enqueued request: waitable handle returned by ``submit``.
+
+    ``seq`` is the tenant-local admission number — per-tenant scoring
+    order always equals ``seq`` order, whatever the coalescing pattern.
+    """
+
+    __slots__ = ("tenant", "X", "seq", "enqueued", "proba", "error",
+                 "_event")
+
+    def __init__(self, tenant: str, X: np.ndarray, seq: int) -> None:
+        self.tenant = tenant
+        self.X = X
+        self.seq = seq
+        self.enqueued = time.perf_counter()
+        self.proba: np.ndarray | None = None
+        self.error: Exception | None = None
+        self._event = threading.Event()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Block until scored; returns probabilities or re-raises the error."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request seq={self.seq} for tenant {self.tenant!r} "
+                f"not scored within {timeout}s"
+            )
+        if self.error is not None:
+            raise self.error
+        return self.proba
+
+
+class MicroBatcher:
+    """Per-tenant FIFO queues drained by one coalescing scorer thread.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`~repro.serve.registry.PlanCache`; tenants resolve to
+        ``(plan, executor)`` entries through it (LRU + hot reload).
+    max_wait:
+        Linger budget in seconds: when the scorer picks up a lone request
+        and no other tenant has work queued, it waits up to this long for
+        same-tenant arrivals to coalesce with.  0 disables lingering.
+    coalesce:
+        False scores every request in its own (still padded) micro-batch —
+        the daemon's per-request baseline mode, used by the sustained
+        benchmark as the "before" side.
+    """
+
+    def __init__(self, cache, *, max_wait: float = 0.002,
+                 coalesce: bool = True) -> None:
+        if max_wait < 0:
+            raise ValidationError("max_wait must be >= 0")
+        self.cache = cache
+        self.max_wait = float(max_wait)
+        self.coalesce = bool(coalesce)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queues: dict[str, deque[PendingRequest]] = {}
+        self._order: deque[str] = deque()
+        self._seq: dict[str, int] = {}
+        self._depth = 0
+        self._stop = False
+        self._thread: threading.Thread | None = None
+        self.batches = 0
+        self.requests = 0
+        self.rows = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "MicroBatcher":
+        if self._thread is not None:
+            raise ValidationError("batcher already started")
+        self._stop = False
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-micro-batcher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain every queued request, then stop the scorer thread."""
+        if self._thread is None:
+            return
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        self._thread.join(timeout=30.0)
+        self._thread = None
+
+    def __enter__(self) -> "MicroBatcher":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, tenant: str, X) -> PendingRequest:
+        """Enqueue one request; returns a waitable :class:`PendingRequest`."""
+        # validate rows/width against the tenant's plan up front, so the
+        # caller gets the error synchronously (also loads the plan on the
+        # first request for a tenant)
+        entry = self.cache.get(tenant)
+        X = entry.executor.check_request(X)
+        with self._cond:
+            if self._stop:
+                raise ValidationError("batcher is stopped")
+            seq = self._seq.get(tenant, 0)
+            self._seq[tenant] = seq + 1
+            pending = PendingRequest(tenant, X, seq)
+            queue = self._queues.get(tenant)
+            if queue is None:
+                queue = self._queues[tenant] = deque()
+            if not queue:
+                self._order.append(tenant)
+            queue.append(pending)
+            self._depth += 1
+            registry = get_metrics()
+            if registry.enabled:
+                registry.counter("daemon.requests_total", tenant=tenant).inc()
+                registry.counter("daemon.rows_total", tenant=tenant).inc(
+                    X.shape[0]
+                )
+                registry.gauge("daemon.queue_depth").set(self._depth)
+            self._cond.notify()
+        return pending
+
+    def score(self, tenant: str, X, *, timeout: float | None = 30.0):
+        """Convenience: submit and block for the probabilities."""
+        return self.submit(tenant, X).result(timeout)
+
+    # -- scorer loop ---------------------------------------------------------
+
+    def _take_batch(self) -> list[PendingRequest] | None:
+        """Pop the next micro-batch under the lock (None = stopped & drained)."""
+        with self._cond:
+            while True:
+                while not self._order and not self._stop:
+                    self._cond.wait()
+                if not self._order:
+                    return None  # stopping with nothing queued
+                tenant = self._order.popleft()
+                queue = self._queues[tenant]
+                if queue:
+                    break
+                # stale entry: a submit during the idle linger re-added the
+                # tenant, but the post-linger drain already took its work
+            capacity = self.cache.micro_batch_rows
+            batch = [queue.popleft()]
+            rows = batch[0].X.shape[0]
+            if self.coalesce:
+                while queue and rows + queue[0].X.shape[0] <= capacity:
+                    pending = queue.popleft()
+                    rows += pending.X.shape[0]
+                    batch.append(pending)
+                if (len(self._order) == 0 and not queue and not self._stop
+                        and self.max_wait > 0.0 and rows < capacity):
+                    # idle linger: give same-tenant arrivals one chance to
+                    # coalesce before paying a full padded execution
+                    self._cond.wait(self.max_wait)
+                    while queue and rows + queue[0].X.shape[0] <= capacity:
+                        pending = queue.popleft()
+                        rows += pending.X.shape[0]
+                        batch.append(pending)
+            if queue:
+                self._order.append(tenant)
+            self._depth -= len(batch)
+            registry = get_metrics()
+            if registry.enabled:
+                registry.gauge("daemon.queue_depth").set(self._depth)
+            return batch
+
+    def _loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            tenant = batch[0].tenant
+            t0 = time.perf_counter()
+            registry = get_metrics()
+            try:
+                entry = self.cache.get(tenant)
+                probas = entry.executor.score([p.X for p in batch])
+            except Exception as exc:  # noqa: BLE001 — scorer must not die
+                registry.counter("daemon.errors_total").inc(len(batch))
+                for pending in batch:
+                    pending.error = exc
+                    pending._event.set()
+                continue
+            now = time.perf_counter()
+            rows = sum(p.X.shape[0] for p in batch)
+            self.batches += 1
+            self.requests += len(batch)
+            self.rows += rows
+            if registry.enabled:
+                registry.counter("daemon.batches_total").inc()
+                registry.histogram("daemon.batch_rows").observe(rows)
+                registry.histogram("daemon.batch_requests").observe(len(batch))
+                registry.histogram("daemon.batch_seconds").observe(now - t0)
+                for pending in batch:
+                    registry.histogram("daemon.queue_seconds").observe(
+                        t0 - pending.enqueued
+                    )
+                    registry.histogram("daemon.request_seconds").observe(
+                        now - pending.enqueued
+                    )
+            for pending, proba in zip(batch, probas):
+                pending.proba = proba
+                pending._event.set()
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            depth = self._depth
+        return {
+            "batches": self.batches,
+            "requests": self.requests,
+            "rows": self.rows,
+            "queue_depth": depth,
+            "mean_batch_rows": self.rows / self.batches if self.batches else 0.0,
+            "mean_batch_requests": (
+                self.requests / self.batches if self.batches else 0.0
+            ),
+            "coalesce": self.coalesce,
+        }

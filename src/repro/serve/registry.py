@@ -1,0 +1,215 @@
+"""Tenant registry: LRU cache of compiled plans with validated hot reload.
+
+The daemon serves many tenants — one ``(domain, target)`` adapter artifact
+each, the paper's deployment shape — out of a directory of versioned
+``.npz`` bundles (``<root>/<tenant>.npz``, the ``ArtifactStore`` layout).
+:class:`PlanCache` keeps at most ``capacity`` tenants hot: each entry is a
+loaded artifact compiled into an :class:`~repro.serve.plan.InferencePlan`
+wrapped in a fixed-capacity :class:`~repro.serve.batcher.PaddedExecutor`.
+
+Reload semantics:
+
+- **Load and reload always validate.**  Every (re)load goes through
+  :func:`repro.core.artifacts.load_artifact`, which recomputes the sha256
+  content hash over all array payloads and rejects a bundle whose hash
+  disagrees with its manifest — a half-written or tampered hot swap never
+  reaches the scoring path.
+- **Hot reload is stat-triggered.**  Each cache hit re-stats the bundle;
+  a changed ``(mtime_ns, size)`` evicts the stale entry and reloads (and
+  re-validates) from disk, so publishing a new artifact version is just an
+  atomic file replace.
+- **Eviction (and reload) resets the RNG stream.**  A compiled plan's
+  noise stream starts from the RNG state saved in the artifact; evicting a
+  tenant and loading it again replays from that saved state.  Scoring is
+  therefore deterministic per cache generation, not across evictions —
+  the micro-batch equivalence tests pin down both behaviours.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.metrics import get_metrics
+from repro.serve.batcher import DEFAULT_CAPACITY, PaddedExecutor
+from repro.utils.errors import ArtifactError
+
+__all__ = ["PlanCache", "TenantEntry"]
+
+#: tenant names are path components; keep them boring and traversal-proof
+_TENANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass
+class TenantEntry:
+    """One hot tenant: compiled plan + executor + load-time metadata."""
+
+    tenant: str
+    path: Path
+    plan: object
+    executor: PaddedExecutor
+    manifest: dict
+    mtime_ns: int
+    size: int
+    loaded_at: float
+    hits: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def content_hash(self) -> str | None:
+        return self.manifest.get("content_hash")
+
+
+class PlanCache:
+    """Bounded LRU of compiled tenant plans over an artifact directory.
+
+    Parameters
+    ----------
+    root:
+        Directory of ``<tenant>.npz`` artifact bundles.
+    capacity:
+        Maximum number of tenants kept hot; the least-recently-used entry
+        is evicted on overflow.
+    n_draws:
+        Monte-Carlo draws per sample for every compiled plan.
+    micro_batch_rows:
+        Fixed row capacity of each tenant's :class:`PaddedExecutor` (and
+        therefore the daemon's maximum micro-batch size).
+    """
+
+    def __init__(self, root, *, capacity: int = 8, n_draws: int = 1,
+                 micro_batch_rows: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ArtifactError("cache capacity must be >= 1")
+        self.root = Path(root)
+        self.capacity = int(capacity)
+        self.n_draws = int(n_draws)
+        self.micro_batch_rows = int(micro_batch_rows)
+        self._entries: OrderedDict[str, TenantEntry] = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.reloads = 0
+
+    # -- name / path handling ------------------------------------------------
+
+    def path_for(self, tenant: str) -> Path:
+        """The bundle path a tenant name resolves to (validated)."""
+        if not _TENANT_NAME.match(tenant or ""):
+            raise ArtifactError(
+                f"invalid tenant name {tenant!r} (letters, digits, '._-' "
+                f"only, must not start with a separator)"
+            )
+        return self.root / f"{tenant}.npz"
+
+    def known_tenants(self) -> list[str]:
+        """Every tenant with a bundle under ``root`` (loaded or not)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.npz")
+                      if _TENANT_NAME.match(p.stem))
+
+    # -- cache ---------------------------------------------------------------
+
+    def get(self, tenant: str) -> TenantEntry:
+        """The hot entry for ``tenant`` — loading, reloading or evicting."""
+        path = self.path_for(tenant)
+        with self._lock:
+            entry = self._entries.get(tenant)
+            registry = get_metrics()
+            if entry is not None:
+                try:
+                    stat = path.stat()
+                except OSError:
+                    # bundle deleted out from under us: drop and report
+                    del self._entries[tenant]
+                    self._publish_gauges(registry)
+                    raise ArtifactError(f"no artifact file at {path}") from None
+                if (stat.st_mtime_ns, stat.st_size) == (entry.mtime_ns,
+                                                        entry.size):
+                    entry.hits += 1
+                    self.hits += 1
+                    self._entries.move_to_end(tenant)
+                    if registry.enabled:
+                        registry.counter("daemon.cache_hits_total").inc()
+                    return entry
+                # stat changed: sha256-validated reload through load_artifact
+                del self._entries[tenant]
+                self.reloads += 1
+                if registry.enabled:
+                    registry.counter("daemon.cache_reloads_total").inc()
+            else:
+                self.misses += 1
+                if registry.enabled:
+                    registry.counter("daemon.cache_misses_total").inc()
+            entry = self._load(tenant, path)
+            self._entries[tenant] = entry
+            self._entries.move_to_end(tenant)
+            while len(self._entries) > self.capacity:
+                evicted, _ = self._entries.popitem(last=False)
+                self.evictions += 1
+                if registry.enabled:
+                    registry.counter("daemon.cache_evictions_total").inc()
+            self._publish_gauges(registry)
+            return entry
+
+    def _load(self, tenant: str, path: Path) -> TenantEntry:
+        from repro.serve.runtime import load_plan
+
+        plan, loaded = load_plan(path, n_draws=self.n_draws)
+        stat = path.stat()
+        return TenantEntry(
+            tenant=tenant,
+            path=path,
+            plan=plan,
+            executor=PaddedExecutor(plan, capacity=self.micro_batch_rows),
+            manifest=loaded.manifest,
+            mtime_ns=stat.st_mtime_ns,
+            size=stat.st_size,
+            loaded_at=time.time(),
+        )
+
+    def _publish_gauges(self, registry) -> None:
+        if registry.enabled:
+            registry.gauge("daemon.tenants_loaded").set(len(self._entries))
+
+    def invalidate(self, tenant: str | None = None) -> None:
+        """Drop one tenant (or all) from the cache; next access reloads."""
+        with self._lock:
+            if tenant is None:
+                self._entries.clear()
+            else:
+                self._entries.pop(tenant, None)
+            self._publish_gauges(get_metrics())
+
+    def loaded_tenants(self) -> list[str]:
+        """Hot tenants in LRU order (least recently used first)."""
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            loaded = {
+                name: {
+                    "hits": entry.hits,
+                    "content_hash": entry.content_hash,
+                    "loaded_at": entry.loaded_at,
+                    "schema_version": entry.manifest.get("schema_version"),
+                }
+                for name, entry in self._entries.items()
+            }
+        return {
+            "capacity": self.capacity,
+            "micro_batch_rows": self.micro_batch_rows,
+            "n_draws": self.n_draws,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "reloads": self.reloads,
+            "loaded": loaded,
+        }

@@ -66,13 +66,47 @@ def read_input(path) -> np.ndarray:
             raise ArtifactError(f"{path} has no array named 'X' (found {data.files})")
         X = data["X"]
     elif suffix == ".csv":
-        X = np.loadtxt(path, delimiter=",", ndmin=2)
+        X = _read_csv(path)
     else:
         raise ArtifactError(f"unsupported input format {suffix!r} (npy/npz/csv)")
     X = np.asarray(X, dtype=np.float64)
     if X.ndim != 2:
         raise ArtifactError(f"input batch must be 2-D, got shape {X.shape}")
     return X
+
+
+def _read_csv(path: Path) -> np.ndarray:
+    """Load a numeric CSV, tolerating one header row.
+
+    A non-numeric first row is treated as a header and skipped (with a
+    log message naming the columns); a non-numeric cell anywhere else is
+    a data error and raises :class:`ArtifactError` with its location.
+    """
+    from repro.obs.logging import get_logger
+
+    skiprows = 0
+    with path.open() as handle:
+        first = handle.readline()
+    cells = [cell.strip() for cell in first.strip().split(",")] if first else []
+
+    def _numeric(cell: str) -> bool:
+        try:
+            float(cell)
+        except ValueError:
+            return False
+        return True
+
+    if cells and not all(_numeric(cell) for cell in cells):
+        skiprows = 1
+        get_logger("repro.serve.runtime").info(
+            "skipping header row in %s (columns: %s)", path, ", ".join(cells)
+        )
+    try:
+        return np.loadtxt(path, delimiter=",", ndmin=2, skiprows=skiprows)
+    except ValueError as exc:
+        raise ArtifactError(
+            f"non-numeric cell in {path}: {exc}"
+        ) from exc
 
 
 def write_output(path, *, proba: np.ndarray, labels: np.ndarray) -> Path:

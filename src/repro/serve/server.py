@@ -1,0 +1,219 @@
+"""Stdlib HTTP front for the serving daemon.
+
+Wire format (JSON over HTTP/1.1, documented in DESIGN.md):
+
+``POST /v1/score/<tenant>``
+    Request body ``{"x": [[...row...], ...]}`` (one or more feature rows).
+    Response ``200`` with ``{"tenant", "seq", "rows", "proba", "labels"}``
+    — ``seq`` is the tenant-local admission number (per-tenant scoring
+    order), ``proba`` the class-probability rows, ``labels`` the argmax
+    class labels.  Errors: ``404`` unknown tenant, ``400`` malformed body
+    or bad shape (including a request larger than the micro-batch
+    capacity), ``503`` while shutting down, ``500`` anything else.
+
+``GET /v1/tenants``
+    ``{"root", "known": [...], "loaded": {...}}`` — every bundle under
+    the artifact root plus per-entry cache stats for hot tenants.
+
+``GET /v1/stats``
+    Daemon counters: batcher (batches, coalescing fill) and cache
+    (hits/misses/evictions/reloads) statistics.
+
+``GET /healthz``
+    ``{"status": "ok"}`` liveness probe.
+
+``GET /metrics``
+    Prometheus text-format 0.0.4 exposition of the live registry (same
+    rendering as ``repro.obs.exporters``).
+
+The server is a daemon-threaded ``ThreadingHTTPServer``: request handler
+threads block on the micro-batcher's :class:`PendingRequest` events while
+the single scorer thread does the numpy work, so concurrent clients
+coalesce naturally.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.obs.logging import get_logger
+from repro.utils.errors import ArtifactError, ValidationError
+
+__all__ = ["DaemonHTTPServer"]
+
+#: refuse request bodies larger than this many bytes (64 MiB)
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+logger = get_logger("repro.serve.server")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning daemon's batcher/cache."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def daemon(self):
+        return self.server.serve_daemon
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+        elif path == "/v1/tenants":
+            cache = self.daemon.cache
+            stats = cache.stats()
+            self._send_json(200, {
+                "root": str(cache.root),
+                "known": cache.known_tenants(),
+                "loaded": stats["loaded"],
+            })
+        elif path == "/v1/stats":
+            self._send_json(200, self.daemon.stats())
+        elif path in ("/metrics", "/"):
+            from repro.obs.exporters.prometheus import (
+                CONTENT_TYPE,
+                render_prometheus,
+            )
+
+            body = render_prometheus().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self._send_error_json(404, f"no route for GET {path}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        if not path.startswith("/v1/score/"):
+            self._send_error_json(404, f"no route for POST {path}")
+            return
+        tenant = path[len("/v1/score/"):]
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            if length <= 0:
+                raise ValidationError("empty request body")
+            if length > MAX_BODY_BYTES:
+                raise ValidationError(
+                    f"request body of {length} bytes exceeds the "
+                    f"{MAX_BODY_BYTES}-byte limit"
+                )
+            try:
+                payload = json.loads(self.rfile.read(length))
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise ValidationError(f"request body is not JSON: {exc}")
+            if not isinstance(payload, dict) or "x" not in payload:
+                raise ValidationError('request JSON must carry an "x" key')
+            try:
+                X = np.asarray(payload["x"], dtype=np.float64)
+            except (TypeError, ValueError) as exc:
+                raise ValidationError(f'"x" is not a numeric matrix: {exc}')
+            pending = self.daemon.submit(tenant, X)
+            proba = pending.result(timeout=self.daemon.config.request_timeout)
+        except ArtifactError as exc:
+            message = str(exc)
+            status = 404 if "no artifact file" in message else 400
+            self._send_error_json(status, message)
+            return
+        except ValidationError as exc:
+            status = 503 if "stopped" in str(exc) else 400
+            self._send_error_json(status, str(exc))
+            return
+        except TimeoutError as exc:
+            self._send_error_json(504, str(exc))
+            return
+        except Exception as exc:  # noqa: BLE001 — handler must answer
+            logger.error("score request failed: %s", exc)
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            return
+        codes = np.argmax(proba, axis=1)
+        plan = self.daemon.cache.get(tenant).plan
+        classes = getattr(plan.model, "classes_", None)
+        labels = classes[codes] if classes is not None else codes
+        self._send_json(200, {
+            "tenant": tenant,
+            "seq": pending.seq,
+            "rows": int(proba.shape[0]),
+            "proba": proba.tolist(),
+            "labels": np.asarray(labels).tolist(),
+        })
+
+    def log_message(self, fmt: str, *args) -> None:  # keep requests off stderr
+        logger.debug("http %s", fmt % args)
+
+
+class DaemonHTTPServer:
+    """Background HTTP endpoint bound to a :class:`ServeDaemon`.
+
+    ``port=0`` (the default) binds an ephemeral port; read :attr:`port` /
+    :attr:`url` after :meth:`start`.
+    """
+
+    def __init__(self, daemon, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self._daemon = daemon
+        self.host = host
+        self._requested_port = int(port)
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self._requested_port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "DaemonHTTPServer":
+        if self._server is not None:
+            raise ValidationError("daemon HTTP server already started")
+        server = ThreadingHTTPServer((self.host, self._requested_port),
+                                     _Handler)
+        server.daemon_threads = True
+        server.serve_daemon = self._daemon
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "DaemonHTTPServer":
+        return self.start() if not self.running else self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -37,6 +37,34 @@ def tiny_5gipc():
 
 
 @pytest.fixture(scope="session")
+def tenant_root(tmp_path_factory, tiny_5gc):
+    """Three tiny fitted tenant artifacts + the test matrix to score.
+
+    Session-scoped because fitting pipelines dominates the serve-daemon
+    tests' cost; treat the directory as read-only (copy bundles into a
+    test-local tmp_path before mutating them).
+    """
+    from repro.core import FSGANPipeline, ReconstructionConfig
+    from repro.core.artifacts import save_artifact
+    from repro.ml import MLPClassifier
+
+    root = tmp_path_factory.mktemp("tenants")
+    X_few, _, X_test, _ = tiny_5gc.few_shot_split(5, random_state=0)
+    names = []
+    for i in range(3):
+        pipe = FSGANPipeline(
+            lambda: MLPClassifier(hidden_sizes=(16,), epochs=8, random_state=i),
+            reconstruction_config=ReconstructionConfig(
+                strategy="gan", epochs=2, noise_dim=2, hidden_size=8),
+            random_state=i,
+        ).fit(tiny_5gc.X_source, tiny_5gc.y_source, X_few)
+        name = f"tenant-{i:02d}"
+        save_artifact(pipe, str(root / f"{name}.npz"))
+        names.append(name)
+    return root, names, X_test
+
+
+@pytest.fixture(scope="session")
 def blob_data():
     """Well-separated 4-class Gaussian blobs: (X_train, y_train, X_test, y_test)."""
     gen = np.random.default_rng(7)

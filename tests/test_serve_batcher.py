@@ -1,0 +1,241 @@
+"""Micro-batch bit-identity: the daemon's load-bearing contract.
+
+Coalesced mixed-size micro-batches must score bit-identically to
+per-request execution — across coalescing patterns, tenants, draw counts
+and cache evict/reload mid-stream.
+"""
+
+import shutil
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import FSGANPipeline, ReconstructionConfig
+from repro.core.artifacts import save_artifact
+from repro.ml import MLPClassifier
+from repro.serve import MicroBatcher, PaddedExecutor, PlanCache
+from repro.utils.errors import ValidationError
+
+CAP = 64
+
+
+def _segments(X_test, sizes):
+    cuts = np.cumsum([0] + list(sizes))
+    return [X_test[a:b] for a, b in zip(cuts[:-1], cuts[1:])]
+
+
+def _fresh_executor(root, name, n_draws=1):
+    cache = PlanCache(root, capacity=8, n_draws=n_draws, micro_batch_rows=CAP)
+    return cache.get(name).executor
+
+
+class TestPaddedExecutorEquivalence:
+    @pytest.mark.parametrize("pattern", [
+        [(5, 1, 14, 3, 9)],                  # one coalesced batch
+        [(5, 1, 14), (3, 9)],                # two batches
+        [(5,), (1,), (14,), (3,), (9,)],     # fully per-request
+        [(5, 1), (14,), (3, 9)],             # mixed
+    ])
+    def test_patterns_agree(self, tenant_root, pattern):
+        root, names, X_test = tenant_root
+        sizes = [n for group in pattern for n in group]
+        segments = _segments(X_test, sizes)
+        reference = None
+        executor = _fresh_executor(root, names[0])
+        got, i = [], 0
+        for group in pattern:
+            batch = [executor.check_request(s)
+                     for s in segments[i:i + len(group)]]
+            got.extend(executor.score(batch))
+            i += len(group)
+        other = _fresh_executor(root, names[0])
+        reference = [other.score([other.check_request(s)])[0]
+                     for s in segments]
+        for a, b in zip(got, reference):
+            np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("strategy,n_draws", [
+        ("gan", 3), ("vae", 2), ("autoencoder", 1), ("nocond", 2),
+    ])
+    def test_strategies_and_draws(self, tiny_5gc, tmp_path, strategy, n_draws):
+        X_few, _, X_test, _ = tiny_5gc.few_shot_split(5, random_state=0)
+        pipe = FSGANPipeline(
+            lambda: MLPClassifier(hidden_sizes=(16,), epochs=8, random_state=0),
+            reconstruction_config=ReconstructionConfig(
+                strategy=strategy, epochs=2, noise_dim=2, hidden_size=8),
+            random_state=0,
+        ).fit(tiny_5gc.X_source, tiny_5gc.y_source, X_few)
+        save_artifact(pipe, str(tmp_path / "t.npz"))
+        segments = _segments(X_test, (7, 1, 12, 2))
+        ex1 = _fresh_executor(tmp_path, "t", n_draws)
+        coalesced = ex1.score([ex1.check_request(s) for s in segments])
+        ex2 = _fresh_executor(tmp_path, "t", n_draws)
+        for got, seg in zip(coalesced, segments):
+            np.testing.assert_array_equal(
+                got, ex2.score([ex2.check_request(seg)])[0])
+
+    def test_single_row_requests(self, tenant_root):
+        root, names, X_test = tenant_root
+        segments = _segments(X_test, [1] * 6)
+        ex1 = _fresh_executor(root, names[0])
+        coalesced = ex1.score([ex1.check_request(s) for s in segments])
+        ex2 = _fresh_executor(root, names[0])
+        for got, seg in zip(coalesced, segments):
+            np.testing.assert_array_equal(
+                got, ex2.score([ex2.check_request(seg)])[0])
+
+
+class TestPaddedExecutorValidation:
+    def test_rejects_wrong_width(self, tenant_root):
+        root, names, X_test = tenant_root
+        executor = _fresh_executor(root, names[0])
+        with pytest.raises(ValidationError, match="features"):
+            executor.check_request(X_test[:3, :-1])
+
+    def test_rejects_oversized_request(self, tenant_root):
+        root, names, X_test = tenant_root
+        executor = _fresh_executor(root, names[0])
+        big = np.repeat(X_test, 5, axis=0)[:CAP + 1]
+        with pytest.raises(ValidationError, match="capacity"):
+            executor.check_request(big)
+
+    def test_rejects_overfull_batch(self, tenant_root):
+        root, names, X_test = tenant_root
+        executor = _fresh_executor(root, names[0])
+        seg = executor.check_request(X_test[:CAP])
+        with pytest.raises(ValidationError, match="capacity"):
+            executor.score([seg, seg])
+
+    def test_one_dim_request_becomes_row(self, tenant_root):
+        root, names, X_test = tenant_root
+        executor = _fresh_executor(root, names[0])
+        assert executor.check_request(X_test[0]).shape == (1, X_test.shape[1])
+
+
+class TestEvictReloadMidStream:
+    def test_eviction_resets_rng_stream(self, tenant_root, tmp_path):
+        """Evict-then-reload mid-stream replays from the saved RNG state."""
+        root, names, X_test = tenant_root
+        for name in names[:2]:
+            shutil.copy(root / f"{name}.npz", tmp_path / f"{name}.npz")
+        cache = PlanCache(tmp_path, capacity=1, micro_batch_rows=CAP)
+        X = X_test[:6]
+
+        ex = cache.get(names[0]).executor
+        first = ex.score([ex.check_request(X)])[0]
+        advanced = ex.score([ex.check_request(X)])[0]  # RNG moved on
+        assert np.any(first != advanced)
+
+        cache.get(names[1])  # capacity-1 cache: evicts tenant 0
+        assert cache.loaded_tenants() == [names[1]]
+        ex = cache.get(names[0]).executor  # reload: saved RNG state again
+        assert cache.misses == 3
+        replay = ex.score([ex.check_request(X)])[0]
+        np.testing.assert_array_equal(replay, first)
+
+    def test_batcher_continues_across_reload(self, tenant_root, tmp_path):
+        root, names, X_test = tenant_root
+        for name in names[:2]:
+            shutil.copy(root / f"{name}.npz", tmp_path / f"{name}.npz")
+        cache = PlanCache(tmp_path, capacity=1, micro_batch_rows=CAP)
+        with MicroBatcher(cache, max_wait=0.0) as batcher:
+            a = batcher.score(names[0], X_test[:4])
+            batcher.score(names[1], X_test[:2])   # evicts tenant 0
+            b = batcher.score(names[0], X_test[:4])  # reload + replay
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMicroBatcher:
+    def test_coalesces_queued_requests(self, tenant_root):
+        root, names, X_test = tenant_root
+        cache = PlanCache(root, capacity=8, micro_batch_rows=CAP)
+        batcher = MicroBatcher(cache, max_wait=0.0)
+        # enqueue before starting the scorer so the first batch coalesces
+        pendings = [batcher.submit(names[0], X_test[i:i + 2])
+                    for i in range(0, 12, 2)]
+        batcher.start()
+        results = [p.result(10.0) for p in pendings]
+        batcher.stop()
+        assert batcher.batches < len(pendings)
+        fresh = _fresh_executor(root, names[0])
+        for pending, got in zip(pendings, results):
+            np.testing.assert_array_equal(
+                got, fresh.score([fresh.check_request(pending.X)])[0])
+
+    def test_seq_is_per_tenant_admission_order(self, tenant_root):
+        root, names, X_test = tenant_root
+        cache = PlanCache(root, capacity=8, micro_batch_rows=CAP)
+        with MicroBatcher(cache) as batcher:
+            a0 = batcher.submit(names[0], X_test[:1])
+            b0 = batcher.submit(names[1], X_test[:1])
+            a1 = batcher.submit(names[0], X_test[:1])
+            for p in (a0, b0, a1):
+                p.result(10.0)
+        assert (a0.seq, a1.seq, b0.seq) == (0, 1, 0)
+
+    def test_concurrent_submitters_stay_bit_identical(self, tenant_root):
+        root, names, X_test = tenant_root
+        cache = PlanCache(root, capacity=8, micro_batch_rows=CAP)
+        results: dict[tuple, np.ndarray] = {}
+        lock = threading.Lock()
+
+        def client(tenant, offsets):
+            for off in offsets:
+                X = X_test[off:off + 1 + off % 4]
+                pending = batcher.submit(tenant, X)
+                proba = pending.result(10.0)
+                with lock:
+                    results[(tenant, pending.seq)] = (X, proba)
+
+        with MicroBatcher(cache, max_wait=0.001) as batcher:
+            threads = [
+                threading.Thread(target=client,
+                                 args=(names[t % 2], range(8 * w, 8 * w + 8)))
+                for w, t in enumerate(range(4))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # replay every tenant's stream per-request in seq order
+        for tenant in names[:2]:
+            executor = _fresh_executor(root, tenant)
+            items = sorted((seq, X, proba)
+                           for (who, seq), (X, proba) in results.items()
+                           if who == tenant)
+            assert [seq for seq, _, _ in items] == list(range(len(items)))
+            for _seq, X, proba in items:
+                np.testing.assert_array_equal(
+                    proba, executor.score([executor.check_request(X)])[0])
+
+    def test_no_coalesce_mode_scores_singly(self, tenant_root):
+        root, names, X_test = tenant_root
+        cache = PlanCache(root, capacity=8, micro_batch_rows=CAP)
+        batcher = MicroBatcher(cache, coalesce=False)
+        pendings = [batcher.submit(names[0], X_test[i:i + 2])
+                    for i in range(0, 8, 2)]
+        batcher.start()
+        for p in pendings:
+            p.result(10.0)
+        batcher.stop()
+        assert batcher.batches == len(pendings)
+
+    def test_submit_after_stop_raises(self, tenant_root):
+        root, names, X_test = tenant_root
+        cache = PlanCache(root, capacity=8, micro_batch_rows=CAP)
+        batcher = MicroBatcher(cache).start()
+        batcher.stop()
+        with pytest.raises(ValidationError, match="stopped"):
+            batcher.submit(names[0], X_test[:1])
+
+    def test_stop_drains_queued_work(self, tenant_root):
+        root, names, X_test = tenant_root
+        cache = PlanCache(root, capacity=8, micro_batch_rows=CAP)
+        batcher = MicroBatcher(cache, max_wait=0.0)
+        pendings = [batcher.submit(names[0], X_test[i:i + 1])
+                    for i in range(10)]
+        batcher.start()
+        batcher.stop()
+        for p in pendings:
+            assert p.result(0.0) is not None

@@ -126,6 +126,19 @@ class TestServeRuntime:
         np.testing.assert_allclose(read_input(tmp_path / "x.csv"), X,
                                    rtol=1e-15)
 
+    def test_read_input_csv_skips_header_row(self, tmp_path, rng):
+        X = rng.normal(size=(5, 3))
+        path = tmp_path / "headed.csv"
+        body = "\n".join(",".join(f"{v:.17g}" for v in row) for row in X)
+        path.write_text("alpha,beta,gamma\n" + body + "\n")
+        np.testing.assert_allclose(read_input(path), X, rtol=1e-15)
+
+    def test_read_input_csv_non_numeric_cell_is_artifact_error(self, tmp_path):
+        path = tmp_path / "bad_cell.csv"
+        path.write_text("1.0,2.0\n3.0,oops\n")
+        with pytest.raises(ArtifactError, match="non-numeric cell"):
+            read_input(path)
+
     def test_read_input_errors(self, tmp_path):
         with pytest.raises(ArtifactError, match="no input file"):
             read_input(tmp_path / "missing.npy")
