@@ -4,6 +4,7 @@ F-node intervention-target discovery (the machinery behind the FS method)."""
 from repro.causal.ci_tests import (
     fisher_z_test,
     g_squared_test,
+    ks_pvalue,
     regression_invariance_test,
 )
 from repro.causal.engine import (
@@ -28,9 +29,11 @@ from repro.causal.fnode import (
 )
 from repro.causal.graph import CausalGraph
 from repro.causal.pc import PCResult, pc_algorithm, pc_skeleton
+from repro.causal.warm import CIStatCache, WarmState, matrix_fingerprint
 
 __all__ = [
     "CIEngine",
+    "CIStatCache",
     "CausalGraph",
     "F_NODE",
     "SHM_AVAILABLE",
@@ -45,9 +48,12 @@ __all__ = [
     "FNodeDiscovery",
     "FNodeResult",
     "PCResult",
+    "WarmState",
     "discover_targets_pc",
     "fisher_z_test",
     "g_squared_test",
+    "ks_pvalue",
+    "matrix_fingerprint",
     "pc_algorithm",
     "pc_skeleton",
     "regression_invariance_test",

@@ -50,6 +50,7 @@ import numpy as np
 from scipy import stats
 from scipy.linalg import LinAlgError, cho_factor, cho_solve
 
+from repro.causal.ci_tests import ks_pvalue
 from repro.utils.errors import ValidationError
 
 DEFAULT_RIDGE = 1e-3
@@ -59,6 +60,11 @@ STATS_DTYPES = ("float64", "float32")
 
 #: one log row per counted CI test: (cond_size, p_value, seconds)
 TestLog = list
+
+#: subsets per deadline poll inside one search level — small enough that a
+#: wall-clock budget cannot overshoot by a whole feature's subset search,
+#: large enough to keep the batched statistics amortized
+DEADLINE_CHUNK = 32
 
 
 def batch_welch_t_pvalues(A: np.ndarray, B: np.ndarray) -> np.ndarray:
@@ -104,12 +110,7 @@ def batch_ks_pvalues(
         cdf2 = np.searchsorted(b[:, k], data_all, side="right") / n2
         diffs = cdf1 - cdf2
         d[k] = max(np.clip(-diffs.min(), 0, 1), diffs.max())
-    big, small = float(max(n1, n2)), float(min(n1, n2))
-    en = big * small / (big + small)
-    if exact:
-        return np.clip(stats.kstwo.sf(d, np.round(en)), 0.0, 1.0)
-    root = np.sqrt(en)
-    return np.clip(stats.kstwobign.sf((root + 0.12 + 0.11 / root) * d), 0.0, 1.0)
+    return ks_pvalue(d, n1, n2, mode="exact" if exact else "stephens")
 
 
 def combined_invariance_pvalues(
@@ -214,6 +215,14 @@ class CIEngine:
         tuple, computing betas for **all** features at once.  Kept as the
         benchmark baseline (its per-tuple cost scales with the feature
         count); float64 only.
+    stat_cache:
+        Optional :class:`repro.causal.warm.CIStatCache` used as a
+        read-through/write-through store for the source-side regression
+        state (Cholesky factors, betas, source residuals).  The caller is
+        responsible for only attaching a cache whose guards (ridge, dtype,
+        source fingerprint) match — under those guards reused entries are
+        byte-for-byte what this engine would compute.  Hit/miss traffic is
+        counted in :attr:`cache_stats`.
     """
 
     def __init__(
@@ -226,6 +235,7 @@ class CIEngine:
         verify_alpha: float | None = None,
         verify_margin: float | None = None,
         multi_rhs: bool = False,
+        stat_cache=None,
     ) -> None:
         self.Xs64 = np.ascontiguousarray(X_source, dtype=np.float64)
         self.Xt64 = np.ascontiguousarray(X_target, dtype=np.float64)
@@ -239,6 +249,11 @@ class CIEngine:
             )
         if multi_rhs and stats_dtype != "float64":
             raise ValidationError("multi_rhs mode supports float64 only")
+        if multi_rhs and stat_cache is not None:
+            raise ValidationError(
+                "multi_rhs is the frozen benchmark baseline and does not "
+                "support a warm stat_cache"
+            )
         self.ridge = float(ridge)
         self.stats_dtype = np.dtype(stats_dtype)
         self.multi_rhs = bool(multi_rhs)
@@ -256,6 +271,22 @@ class CIEngine:
         self._designs: dict[tuple[int, ...], tuple] = {}
         self._betas: dict[tuple[int, ...], dict[int, np.ndarray]] = {}
         self._marginal: np.ndarray | None = None
+        self.stat_cache = stat_cache
+        # in-run cache traffic (design/beta) plus cross-run warm-cache
+        # traffic; exported as the fs.cache.* metric family by FNodeDiscovery
+        self.cache_stats: dict[str, int] = {
+            "design_hits": 0,
+            "design_misses": 0,
+            "beta_hits": 0,
+            "beta_misses": 0,
+            "warm_hits": 0,
+            "warm_misses": 0,
+        }
+
+    def merge_cache_stats(self, other: dict) -> None:
+        """Fold a worker's cache-traffic delta into this engine's counters."""
+        for key, value in other.items():
+            self.cache_stats[key] = self.cache_stats.get(key, 0) + int(value)
 
     @property
     def n_features(self) -> int:
@@ -303,6 +334,31 @@ class CIEngine:
                 self._marginal = ps
         return self._marginal
 
+    def marginal_pvalues_for(self, idx) -> np.ndarray:
+        """Marginal ``X ⊥ F`` p-values for a subset of columns.
+
+        Column-for-column identical to the corresponding entries of
+        :meth:`marginal_pvalues` (the batched statistics are column-
+        independent); used by warm re-discovery to re-test only the features
+        whose prior marginal p-value sits near the decision threshold.
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size == 0:
+            return np.empty(0)
+        if self.Xs.shape[0] < 3 or self.Xt.shape[0] < 2:
+            return np.ones(idx.size)
+        ps = combined_invariance_pvalues(
+            self.Xs[:, idx], self.Xt[:, idx], ks_exact=not self._verifies
+        )
+        if self._verifies:
+            near = self._borderline(ps)
+            if near.size:
+                sel = idx[near]
+                ps[near] = combined_invariance_pvalues(
+                    self.Xs64[:, sel], self.Xt64[:, sel]
+                )
+        return ps
+
     # -- conditional tests ---------------------------------------------------
 
     def _design(self, cols: tuple[int, ...]):
@@ -314,22 +370,34 @@ class CIEngine:
         ``B`` solves the ridge system for all features at once.
         """
         entry = self._designs.get(cols)
-        if entry is None:
-            idx = list(cols)
-            dt = self.stats_dtype
-            Zs = np.column_stack(
-                [np.ones(self.Xs.shape[0], dtype=dt), self.Xs[:, idx]]
-            )
-            Zt = np.column_stack(
-                [np.ones(self.Xt.shape[0], dtype=dt), self.Xt[:, idx]]
-            )
+        if entry is not None:
+            self.cache_stats["design_hits"] += 1
+            return entry
+        self.cache_stats["design_misses"] += 1
+        idx = list(cols)
+        dt = self.stats_dtype
+        Zs = np.column_stack(
+            [np.ones(self.Xs.shape[0], dtype=dt), self.Xs[:, idx]]
+        )
+        Zt = np.column_stack(
+            [np.ones(self.Xt.shape[0], dtype=dt), self.Xt[:, idx]]
+        )
+        if self.multi_rhs:
             A = Zs.T @ Zs + np.asarray(self.ridge, dtype=dt) * np.eye(
                 Zs.shape[1], dtype=dt
             )
-            if self.multi_rhs:
-                B = cho_solve(cho_factor(A), Zs.T @ self.Xs)
-                entry = (Zs, Zt, B)
-            else:
+            B = cho_solve(cho_factor(A), Zs.T @ self.Xs)
+            entry = (Zs, Zt, B)
+        else:
+            factor = None
+            if self.stat_cache is not None:
+                factor = self.stat_cache.get_factor(cols)
+                key = "warm_hits" if factor is not None else "warm_misses"
+                self.cache_stats[key] += 1
+            if factor is None:
+                A = Zs.T @ Zs + np.asarray(self.ridge, dtype=dt) * np.eye(
+                    Zs.shape[1], dtype=dt
+                )
                 try:
                     factor = cho_factor(A)
                 except LinAlgError:
@@ -337,8 +405,10 @@ class CIEngine:
                     # to roundoff; fall back to a float64 factor for this
                     # tuple (cho_solve upcasts the solve accordingly)
                     factor = cho_factor(A.astype(np.float64))
-                entry = (Zs, Zt, factor)
-            self._designs[cols] = entry
+                if self.stat_cache is not None:
+                    self.stat_cache.put_factor(cols, factor)
+            entry = (Zs, Zt, factor)
+        self._designs[cols] = entry
         return entry
 
     def _beta(self, cols: tuple[int, ...], j: int) -> np.ndarray:
@@ -348,9 +418,21 @@ class CIEngine:
             return solved[:, j]
         per_feature = self._betas.setdefault(cols, {})
         beta = per_feature.get(j)
-        if beta is None:
-            beta = cho_solve(solved, Zs.T @ self.Xs[:, j])
-            per_feature[j] = beta
+        if beta is not None:
+            self.cache_stats["beta_hits"] += 1
+            return beta
+        self.cache_stats["beta_misses"] += 1
+        if self.stat_cache is not None:
+            beta = self.stat_cache.get_beta(cols, j)
+            key = "warm_hits" if beta is not None else "warm_misses"
+            self.cache_stats[key] += 1
+            if beta is not None:
+                per_feature[j] = beta
+                return beta
+        beta = cho_solve(solved, Zs.T @ self.Xs[:, j])
+        per_feature[j] = beta
+        if self.stat_cache is not None:
+            self.stat_cache.put_beta(cols, j, beta)
         return beta
 
     def conditional_pvalues(
@@ -371,7 +453,16 @@ class CIEngine:
         for k, cols in enumerate(subsets):
             Zs, Zt, _ = self._design(cols)
             beta = self._beta(cols, j)
-            res_s[:, k] = xs - Zs @ beta
+            rs = (
+                self.stat_cache.get_residual(cols, j)
+                if self.stat_cache is not None
+                else None
+            )
+            if rs is None:
+                rs = xs - Zs @ beta
+                if self.stat_cache is not None:
+                    self.stat_cache.put_residual(cols, j, rs)
+            res_s[:, k] = rs
             res_t[:, k] = xt - Zt @ beta
         ps = combined_invariance_pvalues(res_s, res_t, ks_exact=not self._verifies)
         if self._verifies:
@@ -423,6 +514,7 @@ class CIEngine:
         budget: int | None = None,
         deadline: float | None = None,
         extra_candidates: tuple[int, ...] | None = None,
+        prior_set: tuple[int, ...] | None = None,
     ) -> tuple[float, tuple[int, ...], int, TestLog, bool]:
         """PC-style subset search for one feature's edge to the F-node.
 
@@ -436,8 +528,20 @@ class CIEngine:
         ``budget`` caps the number of *counted* conditional tests (anytime
         mode: the search stops mid-stream with ``completed=False``);
         ``deadline`` is an absolute :func:`time.perf_counter` cutoff checked
-        between level batches.  ``extra_candidates`` enables the two-phase
-        pruned search described in :meth:`_subset_levels`.
+        between level batches *and* every :data:`DEADLINE_CHUNK` subsets
+        inside a level, so a tight wall-clock budget cannot overshoot by a
+        whole feature's enumeration.  ``extra_candidates`` enables the
+        two-phase pruned search described in :meth:`_subset_levels`.
+
+        ``prior_set`` (warm re-discovery) is a conditioning set confirmed to
+        separate this feature in a previous run: it is tested *first* and
+        short-circuits the search when it still clears ``alpha``.  Because
+        the set is required to be a subset of the candidate pool, the full
+        enumeration would have tested it anyway — a clear implies the cold
+        search also finds *some* clearing subset, so the variant decision is
+        unchanged (the same fallback contract as pruning).  When it no
+        longer clears, the full enumeration proceeds (skipping only the
+        duplicate test).
         """
         best_p = float(marginal_p)
         separating: tuple[int, ...] = ()
@@ -446,9 +550,28 @@ class CIEngine:
         completed = True
         if best_p >= alpha:
             return best_p, separating, n_tests, log, completed
+        skip = None
+        if prior_set and len(prior_set) <= max_cond_size and (
+            budget is None or budget > 0
+        ):
+            prior_set = tuple(prior_set)
+            t0 = time.perf_counter()
+            p = float(self.conditional_pvalues(j, [prior_set])[0])
+            n_tests += 1
+            log.append((len(prior_set), p, time.perf_counter() - t0))
+            if p > best_p:
+                best_p = p
+                separating = prior_set
+            if p >= alpha:
+                return best_p, separating, n_tests, log, completed
+            skip = frozenset(prior_set)
         for size, subsets in self._subset_levels(
             candidates, extra_candidates, max_cond_size
         ):
+            if skip is not None and size == len(skip):
+                subsets = [s for s in subsets if frozenset(s) != skip]
+                if not subsets:
+                    continue
             if deadline is not None and time.perf_counter() >= deadline:
                 completed = False
                 break
@@ -461,19 +584,38 @@ class CIEngine:
                 if len(subsets) > remaining:
                     subsets = subsets[:remaining]
                     truncated = True
-            t0 = time.perf_counter()
-            ps = self.conditional_pvalues(j, subsets)
-            per_test = (time.perf_counter() - t0) / len(subsets)
-            above = np.nonzero(ps >= alpha)[0]
-            cleared = above.size > 0
-            n_counted = int(above[0]) + 1 if cleared else len(subsets)
-            for idx in range(n_counted):
-                p = float(ps[idx])
-                n_tests += 1
-                log.append((size, p, per_test))
-                if p > best_p:
-                    best_p = p
-                    separating = subsets[idx]
+            batches = (
+                [subsets]
+                if deadline is None
+                else [
+                    subsets[start : start + DEADLINE_CHUNK]
+                    for start in range(0, len(subsets), DEADLINE_CHUNK)
+                ]
+            )
+            cleared = False
+            expired = False
+            for b, batch in enumerate(batches):
+                if b > 0 and time.perf_counter() >= deadline:
+                    expired = True
+                    break
+                t0 = time.perf_counter()
+                ps = self.conditional_pvalues(j, batch)
+                per_test = (time.perf_counter() - t0) / len(batch)
+                above = np.nonzero(ps >= alpha)[0]
+                cleared = above.size > 0
+                n_counted = int(above[0]) + 1 if cleared else len(batch)
+                for idx in range(n_counted):
+                    p = float(ps[idx])
+                    n_tests += 1
+                    log.append((size, p, per_test))
+                    if p > best_p:
+                        best_p = p
+                        separating = batch[idx]
+                if cleared:
+                    break
+            if expired:
+                completed = False
+                break
             if cleared:
                 break
             if truncated:
@@ -493,6 +635,15 @@ _WORKER_PARAMS: dict | None = None
 
 def _install_worker_engine(Xs, Xt, params: dict) -> None:
     global _WORKER_ENGINE, _WORKER_PARAMS
+    stat_cache = None
+    portable = params.get("stat_cache")
+    if portable is not None:
+        from repro.causal.warm import CIStatCache
+
+        # each worker re-hydrates its own copy of the warm cache: entries
+        # are read zero-risk (source-side state is immutable within a run)
+        # and new entries accumulate worker-locally
+        stat_cache = CIStatCache.from_portable(portable)
     _WORKER_ENGINE = CIEngine(
         Xs,
         Xt,
@@ -501,6 +652,7 @@ def _install_worker_engine(Xs, Xt, params: dict) -> None:
         verify_alpha=params.get("verify_alpha"),
         verify_margin=params.get("verify_margin"),
         multi_rhs=params.get("multi_rhs", False),
+        stat_cache=stat_cache,
     )
     _WORKER_PARAMS = {
         "alpha": params["alpha"],
@@ -524,14 +676,25 @@ def init_search_worker_shm(meta: dict, params: dict) -> None:
 def search_chunk_worker(tasks):
     """Run :meth:`CIEngine.search_feature` for a chunk of search tasks.
 
-    Each task is ``(j, candidates, extra_candidates, marginal_p)``; each
-    result row is ``(j, best_p, separating, n_tests, log, completed)``.
+    Each task is ``(j, candidates, extra_candidates, marginal_p,
+    prior_set)``; returns ``(rows, cache_stats_delta)`` where each row is
+    ``(j, best_p, separating, n_tests, log, completed)`` and the delta is
+    this chunk's cache traffic (workers outlive chunks, so a snapshot diff
+    keeps the parent-side aggregation double-count-free).
     """
     engine, params = _WORKER_ENGINE, _WORKER_PARAMS
-    return [
+    before = dict(engine.cache_stats)
+    rows = [
         (j,)
         + engine.search_feature(
-            j, candidates, marginal_p, extra_candidates=extra, **params
+            j,
+            candidates,
+            marginal_p,
+            extra_candidates=extra,
+            prior_set=prior_set,
+            **params,
         )
-        for j, candidates, extra, marginal_p in tasks
+        for j, candidates, extra, marginal_p, prior_set in tasks
     ]
+    delta = {k: engine.cache_stats[k] - before.get(k, 0) for k in engine.cache_stats}
+    return rows, delta

@@ -50,6 +50,7 @@ from repro.causal.engine import (
 )
 from repro.causal.shm import create_shared_matrices
 from repro.causal.pc import pc_algorithm
+from repro.causal.warm import CIStatCache, WarmState, matrix_fingerprint
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
 from repro.utils.errors import ValidationError
@@ -60,6 +61,9 @@ F_NODE = "F"
 #: features per child span in the discovery trace — coarse enough to keep
 #: traces small on 442-feature data, fine enough to localize the cost
 CI_BATCH_SIZE = 32
+
+#: warm re-discovery modes (see :meth:`FNodeDiscovery.rediscover`)
+WARM_MODES = ("exact", "confirm")
 
 
 @dataclass
@@ -80,6 +84,12 @@ class FNodeResult:
         Fraction of subset searches that ran to completion.  Always 1.0
         outside budgeted mode; under a test-count or wall-clock budget it
         reports how much of the full search the budget afforded.
+    marginal_p_values:
+        Per-feature *pre-search* marginal (size-0) p-values.  ``p_values``
+        holds each feature's best p over all tested subsets, so the raw
+        marginals are kept separately — warm re-discovery uses them to
+        decide which marginal tests are worth re-running.  ``None`` on
+        results produced before warm-start support (older artifacts).
     """
 
     variant_indices: np.ndarray
@@ -88,6 +98,7 @@ class FNodeResult:
     parent_sets: list[tuple[int, ...]] = field(default_factory=list)
     n_tests: int = 0
     coverage: float = 1.0
+    marginal_p_values: np.ndarray | None = None
 
     @property
     def n_variant(self) -> int:
@@ -217,6 +228,10 @@ class FNodeDiscovery:
         self.stats_dtype = stats_dtype
         self.use_shared_memory = use_shared_memory
         self.multi_rhs = multi_rhs
+        #: WarmState captured by the last discover()/rediscover() call —
+        #: feed it to the next rediscover() (or persist it via the
+        #: FeatureSeparator estimator state) to warm-start that run
+        self.warm_state_: WarmState | None = None
 
     def _candidates(self, corr: np.ndarray, j: int) -> tuple[int, ...]:
         """Top-``max_parents`` source-correlated features for column j."""
@@ -235,7 +250,176 @@ class FNodeDiscovery:
         as a handful of target samples (the few-shot regime): power simply
         drops, so fewer variant features are detected — the behaviour the
         paper reports in §VI-C (35/68/75 variants at 1/5/10 shots on 5GC).
+
+        A cold run still accumulates a :class:`~repro.causal.warm.WarmState`
+        (exposed as :attr:`warm_state_`) so the *next* run can warm-start.
         """
+        return self._discover(X_source, X_target, None, None, 0.0)
+
+    def rediscover(
+        self,
+        X_source,
+        X_target,
+        warm: WarmState,
+        *,
+        mode: str = "exact",
+        recheck_band: float = 0.1,
+    ) -> FNodeResult:
+        """Warm-start re-discovery after new few-shot target rows arrived.
+
+        Composes the persistent CI-statistics cache with prior-guided
+        search.  ``warm`` is the :attr:`warm_state_` of a previous
+        discover/rediscover over the *same source matrix* (typically with a
+        smaller target set); on any guard mismatch — changed source rows,
+        different feature count — the run falls back to a cold discovery
+        (and counts the dropped cache entries as invalidations), so
+        ``rediscover`` never returns worse results than ``discover``.
+
+        ``mode`` selects the reuse level (see EXPERIMENTS.md for the
+        equivalence policy):
+
+        - ``"exact"`` (default, provably variant-set-identical to cold):
+          reuse the byte-for-byte-valid source-side cache entries,
+          confirmation-test each feature's previous separating set first
+          (with the full enumeration as fallback — the pruning contract),
+          and order the remaining searches by the previous run's
+          closest-to-clearing scores.  The marginal sweep is re-run in
+          full.
+        - ``"confirm"`` (confirmation-tested): additionally reuse prior
+          *marginal* p-values for features whose prior marginal sits above
+          ``recheck_band`` (re-testing only the near-threshold ones), and
+          short-circuit previously-variant features after one confirmation
+          test on their prior closest-to-clearing subset when both the
+          current marginal and the confirmation p-value stay below
+          ``alpha/2``; borderline features fall back to the full search.
+          Decisions are not formally guaranteed but are empirically
+          validated (``repro bench --warm`` asserts variant-set equality
+          with cold discovery on every path).  Requires the warm state to
+          come from a run with identical discovery parameters; degrades to
+          ``"exact"`` otherwise.  Budgeted runs also degrade to ``"exact"``
+          (the budget countdown must account every conditional test).
+        """
+        if mode not in WARM_MODES:
+            raise ValidationError(
+                f"rediscover mode must be one of {WARM_MODES}, got {mode!r}"
+            )
+        if warm is None:
+            raise ValidationError(
+                "rediscover requires a WarmState; use discover() for cold runs"
+            )
+        return self._discover(X_source, X_target, warm, mode, float(recheck_band))
+
+    def _params_key(self) -> dict:
+        """Discovery parameters that warm ``confirm`` mode must match."""
+        return {
+            "alpha": float(self.alpha),
+            "max_parents": int(self.max_parents),
+            "max_cond_size": int(self.max_cond_size),
+            "min_correlation": float(self.min_correlation),
+            "ridge": float(self.ridge),
+            "stats_dtype": str(self.stats_dtype),
+            "prune_k": None if self.prune_k is None else int(self.prune_k),
+            "prune_exact": bool(self.prune_exact),
+        }
+
+    def _resolve_warm(self, warm, mode, d, src_fp):
+        """Gate the warm state behind its validity guards.
+
+        Returns ``(priors, stat_cache, invalidated, effective_mode)``.
+        ``priors`` is ``None`` (cold fallback) unless the warm state
+        describes this exact source matrix and feature count; the cache is
+        dropped — its entries counted as invalidated — unless its (ridge,
+        dtype, source-fingerprint) guards match byte-for-byte reuse.  A
+        fresh empty cache is attached otherwise so this run captures state
+        for the next one (``multi_rhs`` baseline mode never caches).
+        """
+        priors = None
+        cache = None
+        invalidated = 0
+        if warm is not None:
+            old = warm.cache
+            if old is not None and not self.multi_rhs and old.matches(
+                ridge=self.ridge,
+                stats_dtype=self.stats_dtype,
+                source_fingerprint=src_fp,
+            ):
+                cache = old
+            elif old is not None:
+                invalidated = old.invalidate()
+            p = warm.priors
+            if (
+                p is not None
+                and warm.n_features == d
+                and len(p.p_values) == d
+                and warm.source_fingerprint == src_fp
+            ):
+                priors = p
+        if priors is None:
+            mode = None
+        elif mode == "confirm":
+            marg = priors.marginal_p_values
+            budgeted = self.budget is not None or self.budget_seconds is not None
+            if (
+                budgeted
+                or marg is None
+                or len(marg) != d
+                or warm.params != self._params_key()
+            ):
+                mode = "exact"  # decisions can't be trusted; guards still hold
+        if cache is None and not self.multi_rhs:
+            cache = CIStatCache(
+                ridge=self.ridge,
+                stats_dtype=self.stats_dtype,
+                source_fingerprint=src_fp,
+            )
+        return priors, cache, invalidated, mode
+
+    def _prior_set(
+        self, priors: FNodeResult, j: int, pool: tuple[int, ...]
+    ) -> tuple[int, ...] | None:
+        """Feature ``j``'s previous separating/closest-to-clearing set.
+
+        Only returned when the cold search over ``pool`` (the *effective*
+        enumerated pool) would have tested it anyway — the guard that keeps
+        prior-seeded search decision-exact.
+        """
+        sets = priors.parent_sets
+        if j >= len(sets):
+            return None
+        prior = tuple(int(c) for c in sets[j])
+        if not prior or len(prior) > self.max_cond_size:
+            return None
+        if not set(prior).issubset(pool):
+            return None
+        return prior
+
+    def _confirm_variant(self, engine, j, marginal_p, prior_set):
+        """One-test confirmation of a previously-variant feature (confirm mode).
+
+        A feature stays variant without re-enumerating its subsets when its
+        current marginal p-value *and* one confirmation test on its prior
+        closest-to-clearing subset both sit below ``alpha / 2`` — twice the
+        evidence margin the decision needs.  Returns a search-result row, or
+        ``None`` when the feature is borderline and must take the full
+        search path.
+        """
+        thresh = 0.5 * self.alpha
+        if marginal_p >= thresh:
+            return None
+        if not prior_set:
+            # the prior search never found a subset better than the (deep
+            # below threshold) marginal; nothing worth re-testing
+            return (j, marginal_p, (), 0, [], True)
+        t0 = time.perf_counter()
+        p = float(engine.conditional_pvalues(j, [prior_set])[0])
+        seconds = time.perf_counter() - t0
+        if p >= thresh:
+            return None
+        best_p = max(marginal_p, p)
+        separating = prior_set if p > marginal_p else ()
+        return (j, best_p, separating, 1, [(len(prior_set), p, seconds)], True)
+
+    def _discover(self, X_source, X_target, warm, mode, recheck_band) -> FNodeResult:
         X_source = check_array(X_source, name="X_source", min_samples=4)
         X_target = check_array(X_target, name="X_target", min_samples=2)
         if X_source.shape[1] != X_target.shape[1]:
@@ -250,6 +434,11 @@ class FNodeDiscovery:
             corr = np.corrcoef(X_source, rowvar=False)
         if d == 1:
             corr = np.array([[1.0]])
+        self.warm_state_ = None
+        src_fp = matrix_fingerprint(X_source)
+        priors, stat_cache, invalidated, mode = self._resolve_warm(
+            warm, mode, d, src_fp
+        )
         engine = CIEngine(
             X_source,
             X_target,
@@ -257,6 +446,7 @@ class FNodeDiscovery:
             stats_dtype=self.stats_dtype,
             verify_alpha=self.alpha,
             multi_rhs=self.multi_rhs,
+            stat_cache=stat_cache,
         )
         registry = get_metrics()
         tracer = get_tracer()
@@ -265,23 +455,55 @@ class FNodeDiscovery:
         # the FS span decomposes into CI-test-batch child spans (the batched
         # marginal sweep, then chunks of conditional subset searches) so a
         # trace shows where the dominant (§VI-D) discovery cost goes
-        with tracer.span("fs.discover", n_features=d, n_jobs=self.n_jobs) as fs_span:
+        with tracer.span(
+            "fs.discover", n_features=d, n_jobs=self.n_jobs, warm=mode or "cold"
+        ) as fs_span:
             t0 = time.perf_counter()
-            with tracer.span(
-                "fs.ci_batch", feature_start=0, feature_stop=d, stage="marginal"
-            ) as marginal_span:
-                p_values = engine.marginal_pvalues().copy()
-                marginal_span.tag(n_tests=d)
-            if registry.enabled:
-                per_test = (time.perf_counter() - t0) / max(d, 1)
-                for p in p_values:
-                    _observe_ci_test(registry, "invariance", 0, float(p), per_test)
-            n_tests = d
+            if mode == "confirm":
+                # partial marginal sweep: re-test only features whose prior
+                # marginal p sits near the threshold; reuse the rest
+                band = max(recheck_band, self.alpha)
+                prior_marg = np.asarray(priors.marginal_p_values, dtype=np.float64)
+                p_values = prior_marg.copy()
+                recheck = np.nonzero(prior_marg < band)[0]
+                with tracer.span(
+                    "fs.ci_batch", feature_start=0, feature_stop=d, stage="marginal"
+                ) as marginal_span:
+                    if recheck.size:
+                        p_values[recheck] = engine.marginal_pvalues_for(recheck)
+                    marginal_span.tag(
+                        n_tests=int(recheck.size), reused=int(d - recheck.size)
+                    )
+                n_marginal = int(recheck.size)
+                if registry.enabled and recheck.size:
+                    per_test = (time.perf_counter() - t0) / recheck.size
+                    for p in p_values[recheck]:
+                        _observe_ci_test(registry, "invariance", 0, float(p), per_test)
+            else:
+                with tracer.span(
+                    "fs.ci_batch", feature_start=0, feature_stop=d, stage="marginal"
+                ) as marginal_span:
+                    p_values = engine.marginal_pvalues().copy()
+                    marginal_span.tag(n_tests=d)
+                n_marginal = d
+                if registry.enabled:
+                    per_test = (time.perf_counter() - t0) / max(d, 1)
+                    for p in p_values:
+                        _observe_ci_test(registry, "invariance", 0, float(p), per_test)
+            n_tests = n_marginal
+            marginal = p_values.copy()
             parent_sets: list[tuple[int, ...]] = [() for _ in range(d)]
+            prior_variant = (
+                set(int(i) for i in priors.variant_indices)
+                if priors is not None
+                else set()
+            )
 
             # only features failing the marginal test enter the subset search;
-            # each task is (j, primary candidates, fallback candidates, p)
+            # each task is (j, primary candidates, fallback candidates, p,
+            # prior separating set or None)
             tasks = []
+            confirm_rows = []
             if self.max_parents > 0 and self.max_cond_size > 0:
                 for j in np.nonzero(p_values < self.alpha)[0]:
                     j = int(j)
@@ -289,21 +511,48 @@ class FNodeDiscovery:
                     if not pool:
                         continue
                     primary, extra = self._prune(corr, p_values, j, pool, budgeted)
-                    tasks.append((j, primary, extra, float(p_values[j])))
+                    prior_set = None
+                    if priors is not None:
+                        effective = extra if extra is not None else primary
+                        prior_set = self._prior_set(priors, j, effective)
+                    if mode == "confirm" and j in prior_variant:
+                        row = self._confirm_variant(
+                            engine, j, float(p_values[j]), prior_set
+                        )
+                        if row is not None:
+                            confirm_rows.append(row)
+                            continue
+                    tasks.append((j, primary, extra, float(p_values[j]), prior_set))
             if budgeted:
                 # closest-to-clearing first: a deterministic order in which
                 # tight budgets spend their tests where clears are cheapest,
                 # and any budget's tests are a prefix of a larger budget's
                 tasks.sort(key=lambda t: (-t[3], t[0]))
-            searched, coverage = self._search(engine, tasks, tracer)
-            for j, best_p, separating, n_cond, log, _completed in searched:
+            elif priors is not None:
+                # prior closest-to-clearing scores order the remaining
+                # searches: cheap one-test confirmations first (result-
+                # neutral — features are independent; order affects only
+                # scheduling and cache locality)
+                prior_p = np.asarray(priors.p_values, dtype=np.float64)
+                tasks.sort(key=lambda t: (-float(prior_p[t[0]]), t[0]))
+            searched, _search_cov = self._search(engine, tasks, tracer)
+            for j, best_p, separating, n_cond, log, _completed in (
+                confirm_rows + searched
+            ):
                 p_values[j] = best_p
                 parent_sets[j] = separating
                 n_tests += n_cond
                 if registry.enabled:
                     for cond_size, p, seconds in log:
                         _observe_ci_test(registry, "invariance", cond_size, p, seconds)
-            fs_span.tag(n_tests=n_tests)
+            n_units = len(tasks) + len(confirm_rows)
+            n_done = len(confirm_rows) + sum(1 for row in searched if row[5])
+            coverage = 1.0 if n_units == 0 else n_done / n_units
+            fs_span.tag(
+                n_tests=n_tests,
+                warm_hits=engine.cache_stats["warm_hits"],
+                warm_misses=engine.cache_stats["warm_misses"],
+            )
 
         variant = np.where(p_values < self.alpha)[0]
         invariant = np.where(p_values >= self.alpha)[0]
@@ -311,14 +560,34 @@ class FNodeDiscovery:
             registry.counter("fs_discoveries_total").inc()
             registry.gauge("fs_n_variant").set(len(variant))
             registry.gauge("fs_n_features").set(d)
-        return FNodeResult(
+            stats = engine.cache_stats
+            for kind in ("design", "beta", "warm"):
+                registry.counter("fs.cache.hits_total", cache=kind).inc(
+                    stats[f"{kind}_hits"]
+                )
+                registry.counter("fs.cache.misses_total", cache=kind).inc(
+                    stats[f"{kind}_misses"]
+                )
+            registry.counter("fs.cache.invalidated_total", cache="warm").inc(
+                invalidated
+            )
+        result = FNodeResult(
             variant_indices=variant,
             invariant_indices=invariant,
             p_values=p_values,
             parent_sets=parent_sets,
             n_tests=n_tests,
             coverage=coverage,
+            marginal_p_values=marginal,
         )
+        self.warm_state_ = WarmState(
+            priors=result,
+            cache=stat_cache,
+            source_fingerprint=src_fp,
+            n_features=d,
+            params=self._params_key(),
+        )
+        return result
 
     def _prune(
         self,
@@ -380,7 +649,7 @@ class FNodeDiscovery:
                     stage="conditional",
                 ) as batch_span:
                     batch_tests = 0
-                    for j, candidates, extra, marginal_p in chunk:
+                    for j, candidates, extra, marginal_p, prior_set in chunk:
                         out = engine.search_feature(
                             j,
                             candidates,
@@ -390,6 +659,7 @@ class FNodeDiscovery:
                             budget=remaining,
                             deadline=deadline,
                             extra_candidates=extra,
+                            prior_set=prior_set,
                         )
                         results.append((j, *out))
                         batch_tests += out[2]
@@ -405,6 +675,14 @@ class FNodeDiscovery:
             "stats_dtype": self.stats_dtype,
             "verify_alpha": self.alpha,
             "multi_rhs": self.multi_rhs,
+            # warm entries ride to every worker (read side); workers' new
+            # entries stay worker-local — only the serial path accumulates
+            # a complete cache for the next run
+            "stat_cache": (
+                engine.stat_cache.to_portable()
+                if engine.stat_cache is not None
+                else None
+            ),
         }
         shared = (
             create_shared_matrices({"Xs": engine.Xs64, "Xt": engine.Xt64})
@@ -432,8 +710,11 @@ class FNodeDiscovery:
                     initializer=initializer,
                     initargs=initargs,
                 ) as pool:
-                    for chunk_result in pool.map(search_chunk_worker, chunks):
-                        results.extend(chunk_result)
+                    for chunk_rows, stats_delta in pool.map(
+                        search_chunk_worker, chunks
+                    ):
+                        results.extend(chunk_rows)
+                        engine.merge_cache_stats(stats_delta)
                 batch_span.tag(n_tests=sum(row[3] for row in results))
         finally:
             # unlink even on BrokenProcessPool so /dev/shm cannot leak

@@ -11,6 +11,9 @@ Usage::
     python -m repro bench --suite nn --dataset 5gc --preset smoke
     python -m repro bench --suite serve --dataset 5gc --preset smoke
     python -m repro bench --suite serve --sustained --tenants 3 --rate 300
+    python -m repro bench --suite fs --warm --widths 442 --n-jobs -1
+    python -m repro rediscover --artifact pipe.npz --source src.npy \\
+        --target pooled_target.npy --mode confirm --out pipe_updated.npz
     python -m repro serve --artifact pipe.npz --input batch.npy --output scores.npz
     python -m repro serve --artifact pipe.npz --input batch.npy --repeat 100 \\
         --track-drift --prom-port 9464 --snapshot-out metrics.jsonl
@@ -169,11 +172,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fs suite: scaling curve on synthetic wide matrices "
                    "(pre-PR engine vs shared-memory/pruned/float32 path) "
                    "instead of the preset dataset benchmark")
+    p.add_argument("--warm", action="store_true",
+                   help="fs suite: warm-start re-discovery benchmark (cold "
+                   "discover vs rediscover from the previous run's WarmState "
+                   "after new few-shot rows) on synthetic wide matrices")
     p.add_argument("--widths", default="442,1024", metavar="W1,W2,...",
-                   help="fs --wide: comma-separated feature widths "
+                   help="fs --wide/--warm: comma-separated feature widths "
                    "(default 442,1024)")
     p.add_argument("--rounds", type=int, default=2,
-                   help="fs --wide: timing rounds per side (min is kept)")
+                   help="fs --wide/--warm: timing rounds per side (min is "
+                   "kept)")
     p.add_argument("--sustained", action="store_true",
                    help="serve suite: benchmark the multi-tenant daemon "
                    "under sustained load (closed-loop throughput + "
@@ -186,6 +194,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve --sustained: open-loop offered rate (req/s)")
     p.add_argument("--clients", type=int, default=8,
                    help="serve --sustained: concurrent client threads")
+
+    p = sub.add_parser(
+        "rediscover",
+        help="warm-start FS re-discovery from a saved artifact's warm state",
+    )
+    add_common(p, dataset=False)
+    p.add_argument("--artifact", required=True, metavar="PATH",
+                   help="artifact bundle (.npz) carrying a fitted feature "
+                   "separator with persisted warm state")
+    p.add_argument("--source", required=True, metavar="PATH",
+                   help="source-domain matrix: .npy, .npz (array 'X') or .csv")
+    p.add_argument("--target", required=True, metavar="PATH",
+                   help="pooled few-shot target matrix (previous shots + new "
+                   "rows): .npy, .npz (array 'X') or .csv")
+    p.add_argument("--mode", choices=("exact", "confirm"), default="exact",
+                   help="warm policy: exact = provably identical variant "
+                   "sets (default), confirm = confirmation-tested fast path")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the artifact with the refreshed separator and "
+                   "warm state here (the reconstructor/GAN is NOT refit)")
 
     p = sub.add_parser(
         "serve",
@@ -369,6 +397,63 @@ def _dispatch(args, preset) -> None:
         out = args.out or suite.default_out
         print(suite.run_cli(args, preset, out))
         print(f"\nrecord merged into {out}")
+    elif args.command == "rediscover":
+        from dataclasses import replace
+
+        from repro.core.artifacts import load_artifact, save_artifact
+        from repro.core.feature_separation import FeatureSeparator
+        from repro.serve import read_input
+
+        loaded = load_artifact(args.artifact)
+        estimator = loaded.estimator
+        sep = (
+            estimator
+            if isinstance(estimator, FeatureSeparator)
+            else getattr(estimator, "separator_", None)
+        )
+        if sep is None:
+            raise SystemExit(
+                f"repro rediscover: artifact kind {loaded.kind!r} carries no "
+                "feature separator"
+            )
+        if sep.warm_state_ is None:
+            raise SystemExit(
+                "repro rediscover: artifact has no persisted warm state "
+                "(it predates warm-start support — refit once to capture one)"
+            )
+        Xs = read_input(args.source)
+        Xt = read_input(args.target)
+        scaler = getattr(estimator, "scaler_", None)
+        if scaler is not None:
+            Xs, Xt = scaler.transform(Xs), scaler.transform(Xt)
+        refreshed = FeatureSeparator(
+            replace(sep.config, n_jobs=args.n_jobs, warm_mode=args.mode)
+        ).fit(Xs, Xt, warm=sep.warm_state_)
+        old = set(int(j) for j in sep.result_.variant_indices)
+        new = set(int(j) for j in refreshed.result_.variant_indices)
+        res = refreshed.result_
+        print(
+            f"warm ({args.mode}) re-discovery: {res.n_variant} variant "
+            f"features ({res.n_tests} CI tests, coverage {res.coverage:.2f})"
+        )
+        added, removed = sorted(new - old), sorted(old - new)
+        print(f"  newly variant:   {added if added else '(none)'}")
+        print(f"  newly invariant: {removed if removed else '(none)'}")
+        if args.out:
+            if sep is estimator:
+                save_artifact(refreshed, args.out,
+                              provenance=loaded.provenance or None,
+                              monitor=loaded.monitor)
+            else:
+                estimator.separator_ = refreshed
+                save_artifact(estimator, args.out,
+                              provenance=loaded.provenance or None,
+                              monitor=loaded.monitor)
+                print(
+                    "note: the reconstructor/GAN was not refit — rerun "
+                    "pipeline training to adapt it to the new variant set"
+                )
+            print(f"updated artifact written to {args.out}")
     elif args.command == "serve" and args.daemon:
         from repro.serve import DaemonConfig, run_daemon
 

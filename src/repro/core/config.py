@@ -38,6 +38,15 @@ class FSConfig:
     ``stats_dtype="float32"`` runs the statistics path in single precision
     with float64 re-verification of borderline p-values (variant decisions
     match float64).
+
+    ``warm_mode`` controls how a refit uses the previous run's
+    :class:`~repro.causal.warm.WarmState` (persistent CI-statistics cache +
+    decision priors): ``"exact"`` (default) reuses state under provable
+    variant-set-identity guards, ``"confirm"`` additionally short-circuits
+    stable decisions after one confirmation test (empirically validated,
+    fastest), ``"off"`` always runs cold.  Cold fits are unaffected; the
+    mode only applies when a warm state is available (e.g.
+    ``FSGANPipeline.refit_adapter``).
     """
 
     alpha: float = 0.01
@@ -51,6 +60,7 @@ class FSConfig:
     budget_seconds: float | None = None
     stats_dtype: str = "float64"
     use_shared_memory: bool = True
+    warm_mode: str = "exact"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha < 1.0:
@@ -75,6 +85,11 @@ class FSConfig:
         if self.stats_dtype not in ("float64", "float32"):
             raise ConfigurationError(
                 f"stats_dtype must be 'float64' or 'float32', got {self.stats_dtype!r}"
+            )
+        if self.warm_mode not in ("off", "exact", "confirm"):
+            raise ConfigurationError(
+                f"warm_mode must be 'off', 'exact' or 'confirm', "
+                f"got {self.warm_mode!r}"
             )
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.causal.fnode import FNodeDiscovery, FNodeResult
+from repro.causal.warm import WarmState
 from repro.core.config import FSConfig
 from repro.core.estimator import Estimator, decode_json, encode_json, register_estimator
 from repro.obs.export import get_event_log
@@ -42,6 +43,7 @@ class FeatureSeparator(Estimator):
         self.config = config or FSConfig()
         self.result_: FNodeResult | None = None
         self.n_features_: int | None = None
+        self.warm_state_: WarmState | None = None
 
     def state_dict(self) -> dict[str, np.ndarray]:
         check_is_fitted(self, "result_")
@@ -50,13 +52,26 @@ class FeatureSeparator(Estimator):
             "parent_sets": [list(p) for p in self.result_.parent_sets],
             "n_tests": int(self.result_.n_tests),
             "coverage": float(self.result_.coverage),
+            "has_marginal": self.result_.marginal_p_values is not None,
+            "has_warm": self.warm_state_ is not None,
         }
-        return {
+        state = {
             "__meta__": encode_json(meta),
             "variant_indices": np.asarray(self.result_.variant_indices).copy(),
             "invariant_indices": np.asarray(self.result_.invariant_indices).copy(),
             "p_values": np.asarray(self.result_.p_values).copy(),
         }
+        if self.result_.marginal_p_values is not None:
+            state["marginal_p_values"] = np.asarray(
+                self.result_.marginal_p_values
+            ).copy()
+        if self.warm_state_ is not None:
+            # nested flat layout: the warm state (priors + CI-statistics
+            # cache) rides inside the same v2 artifact bundle, so a
+            # daemon-triggered refit can warm-start from disk
+            for name, arr in self.warm_state_.state_dict().items():
+                state[f"warm.{name}"] = arr
+        return state
 
     def load_state_dict(self, state) -> "FeatureSeparator":
         meta = decode_json(state["__meta__"])
@@ -68,7 +83,21 @@ class FeatureSeparator(Estimator):
             parent_sets=[tuple(p) for p in meta.get("parent_sets", [])],
             n_tests=int(meta.get("n_tests", 0)),
             coverage=float(meta.get("coverage", 1.0)),
+            marginal_p_values=(
+                np.array(state["marginal_p_values"])
+                if meta.get("has_marginal")
+                else None
+            ),
         )
+        self.warm_state_ = None
+        if meta.get("has_warm"):
+            prefix = "warm."
+            warm_state = {
+                name[len(prefix):]: arr
+                for name, arr in state.items()
+                if name.startswith(prefix)
+            }
+            self.warm_state_ = WarmState.from_state(warm_state)
         return self
 
     @classmethod
@@ -89,11 +118,19 @@ class FeatureSeparator(Estimator):
         sep.n_features_ = int(n_features)
         return sep
 
-    def fit(self, X_source, X_target) -> "FeatureSeparator":
+    def fit(self, X_source, X_target, *, warm: WarmState | None = None) -> "FeatureSeparator":
         """Run intervention-target discovery between the two domains.
 
         ``X_target`` is the (few-shot) target training data; it is used only
         here — never to train the downstream model or the GAN.
+
+        ``warm`` optionally supplies a previous run's
+        :class:`~repro.causal.warm.WarmState` (typically another separator's
+        :attr:`warm_state_`): discovery then re-runs warm under
+        ``config.warm_mode`` instead of cold, falling back to cold on any
+        guard mismatch.  Either way, the freshly accumulated warm state is
+        captured on :attr:`warm_state_` for the *next* refit and persisted
+        with the estimator state.
         """
         # validate here, mark, and the discovery's own check_array is free
         X_source = mark_validated(
@@ -115,14 +152,23 @@ class FeatureSeparator(Estimator):
             stats_dtype=self.config.stats_dtype,
             use_shared_memory=self.config.use_shared_memory,
         )
+        warm_mode = getattr(self.config, "warm_mode", "exact")
+        use_warm = warm is not None and warm_mode != "off"
         with get_tracer().span(
             "fs.fit",
             n_source=X_source.shape[0],
             n_target=X_target.shape[0],
             n_features=X_source.shape[1],
+            warm=warm_mode if use_warm else "cold",
         ) as span:
-            self.result_ = discovery.discover(X_source, X_target)
+            if use_warm:
+                self.result_ = discovery.rediscover(
+                    X_source, X_target, warm, mode=warm_mode
+                )
+            else:
+                self.result_ = discovery.discover(X_source, X_target)
             span.tag(n_variant=self.result_.n_variant, n_tests=self.result_.n_tests)
+        self.warm_state_ = discovery.warm_state_
         self.n_features_ = X_source.shape[1]
         events = get_event_log()
         if events.enabled:

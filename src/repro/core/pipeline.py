@@ -186,6 +186,14 @@ class FSGANPipeline(Estimator):
         lightweight adapter (FS + GAN) is refreshed when the domain evolves.
         Requires the training cache; unavailable after
         :meth:`release_training_cache`.
+
+        FS re-runs **warm** when the incumbent separator carries a
+        :class:`~repro.causal.warm.WarmState` (persistent CI-statistics
+        cache + decision priors, also restored from v2 artifacts): under
+        ``fs_config.warm_mode`` the re-discovery reuses the source-side
+        regression state and confirmation-tests the previous decisions
+        instead of paying full cold cost, falling back to cold on any guard
+        mismatch.  Set ``warm_mode="off"`` to force cold refits.
         """
         check_is_fitted(self, "model_")
         if self._fit_cache is None:
@@ -198,8 +206,11 @@ class FSGANPipeline(Estimator):
             raise ValidationError("refit_adapter requires the pipeline to be fitted")
         Xs, y_source = self._fit_cache
         Xt = self.scaler_.transform(check_array(X_target_few, name="X_target_few"))
-        with get_tracer().span("pipeline.refit_adapter"):
-            self.separator_ = FeatureSeparator(self.fs_config).fit(Xs, Xt)
+        warm = getattr(getattr(self, "separator_", None), "warm_state_", None)
+        with get_tracer().span("pipeline.refit_adapter", warm=warm is not None):
+            self.separator_ = FeatureSeparator(self.fs_config).fit(
+                Xs, Xt, warm=warm
+            )
             X_inv, X_var = self.separator_.split(Xs)
             self.reconstructor_ = VariantReconstructor(
                 self.reconstruction_config, random_state=self.random_state

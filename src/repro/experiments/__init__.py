@@ -5,6 +5,7 @@ from repro.experiments.bench import (
     make_wide_pair,
     reference_discover,
     run_bench,
+    run_bench_warm,
     run_bench_wide,
     write_bench_record,
 )
@@ -31,6 +32,7 @@ from repro.experiments.reporting import (
     format_bench_nn,
     format_bench_serve,
     format_bench_serve_sustained,
+    format_bench_warm,
     format_bench_wide,
     format_loadgen,
     format_multitarget,
@@ -65,6 +67,7 @@ __all__ = [
     "format_bench_nn",
     "format_bench_serve",
     "format_bench_serve_sustained",
+    "format_bench_warm",
     "format_bench_wide",
     "format_loadgen",
     "format_multitarget",
@@ -81,6 +84,7 @@ __all__ = [
     "replay_capture",
     "run_ablation",
     "run_bench",
+    "run_bench_warm",
     "bench_serve_record",
     "run_bench_nn",
     "run_bench_serve",

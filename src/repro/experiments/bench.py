@@ -20,12 +20,15 @@ presets and seeds accumulate rather than clobber.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from itertools import combinations
 
 import numpy as np
 
 from repro.causal.ci_tests import regression_invariance_test
 from repro.causal.fnode import FNodeDiscovery, FNodeResult
+from repro.causal.warm import WarmState
 from repro.core.config import FSConfig, ReconstructionConfig
 from repro.core.feature_separation import FeatureSeparator
 from repro.core.reconstruction import VariantReconstructor
@@ -386,10 +389,229 @@ def run_bench_wide(
     return records
 
 
+# ---------------------------------------------------------------------------
+# warm-start re-discovery benchmark: cold discovery vs rediscover() from the
+# previous run's WarmState after a few-shot target update
+
+
+def _clone_warm(warm: WarmState) -> WarmState:
+    """Deep, isolated copy of a warm state (serialization roundtrip).
+
+    Each timing round must start from the *same* warm state; reusing the
+    live object would let round N+1 profit from cache entries round N
+    added.  Residuals are included so the clone carries everything the
+    producing run accumulated.
+    """
+    return WarmState.from_state(warm.state_dict(include_residuals=True))
+
+
+def run_bench_warm(
+    widths: tuple[int, ...] = (442,),
+    *,
+    n_jobs: int = -1,
+    fs_rounds: int = 2,
+    warm_mode: str = "confirm",
+    prune_k: int = 3,
+    max_parents: int = 6,
+    max_cond_size: int = 3,
+    min_correlation: float = 0.1,
+    stats_dtype: str = "float32",
+    n_source: int = 480,
+    n_target: int = 120,
+    n_prior: int = 96,
+    random_state: int = 0,
+    out: str | None = None,
+) -> list[dict]:
+    """Warm-start FS re-discovery benchmark (drift-event refit scenario).
+
+    Models the production loop: a run at ``n_prior`` target rows produces a
+    :class:`~repro.causal.warm.WarmState` (decision priors + the persistent
+    CI-statistics cache), then new few-shot rows arrive and discovery
+    re-runs on ``n_target`` rows.  **before** is a cold :meth:`discover` on
+    the updated pool; **after** is :meth:`rediscover` from the prior state
+    under ``warm_mode``.  Both sides run the identical engine configuration
+    (pruning, dtype, fan-out), so the ratio isolates exactly what warm
+    start buys.
+
+    Every record also carries untimed equivalence evidence against the cold
+    variant set: ``exact``/``confirm`` modes, serial / process-pool /
+    shared-memory fan-outs, and a save→load artifact roundtrip of the warm
+    state (the daemon-triggered warm-refit path); ``equivalent`` is the
+    conjunction.  With ``out``, records merge under
+    ``warm/<width>/seed<seed>``.
+    """
+    from repro.core.artifacts import load_artifact, save_artifact
+    from repro.core.config import FSConfig
+    from repro.core.feature_separation import FeatureSeparator
+
+    tracer = get_tracer()
+    logger = get_logger("repro.experiments.bench")
+    fs_rounds = max(1, fs_rounds)
+    engine_kwargs = dict(
+        prune_k=prune_k,
+        prune_exact=True,
+        max_parents=max_parents,
+        max_cond_size=max_cond_size,
+        min_correlation=min_correlation,
+        stats_dtype=stats_dtype,
+        use_shared_memory=True,
+    )
+    records: list[dict] = []
+    for width in widths:
+        Xs, Xt = make_wide_pair(
+            int(width),
+            n_source=n_source,
+            n_target=n_target,
+            random_state=random_state,
+        )
+        if not 0 < n_prior < n_target:
+            raise ValueError("n_prior must be in (0, n_target)")
+        Xt_prior = Xt[:n_prior]
+
+        # the producing run: discovery at the prior shot budget (untimed).
+        # Serial on purpose — pool workers keep their cache entries local,
+        # so only a serial run accumulates the complete CI-statistics cache
+        # the warm state is supposed to carry.
+        prior_disc = FNodeDiscovery(n_jobs=1, **engine_kwargs)
+        prior_disc.discover(Xs, Xt_prior)
+        warm0 = prior_disc.warm_state_
+
+        before_seconds = after_seconds = float("inf")
+        cold = after = None
+        with tracer.span(
+            "bench.fs_warm", width=int(width), rounds=fs_rounds, mode=warm_mode
+        ):
+            for _ in range(fs_rounds):
+                cold_disc = FNodeDiscovery(n_jobs=n_jobs, **engine_kwargs)
+                with Stopwatch() as sw:
+                    cold = cold_disc.discover(Xs, Xt)
+                before_seconds = min(before_seconds, sw.seconds)
+                warm_disc = FNodeDiscovery(n_jobs=n_jobs, **engine_kwargs)
+                warm_in = _clone_warm(warm0)
+                with Stopwatch() as sw:
+                    after = warm_disc.rediscover(Xs, Xt, warm_in, mode=warm_mode)
+                after_seconds = min(after_seconds, sw.seconds)
+
+        def variant_equal(result) -> bool:
+            return bool(
+                np.array_equal(cold.variant_indices, result.variant_indices)
+            )
+
+        # untimed equivalence evidence: both modes, every fan-out path
+        checks = {}
+        checks["confirm_equal"] = variant_equal(after)
+        for name, kwargs in (
+            ("exact_equal", {"n_jobs": 1, "mode": "exact"}),
+            ("serial_equal", {"n_jobs": 1}),
+            ("pool_equal", {"n_jobs": 2, "use_shared_memory": False}),
+            ("shm_equal", {"n_jobs": 2, "use_shared_memory": True}),
+        ):
+            opts = dict(engine_kwargs)
+            opts["use_shared_memory"] = kwargs.get(
+                "use_shared_memory", opts["use_shared_memory"]
+            )
+            disc = FNodeDiscovery(n_jobs=kwargs["n_jobs"], **opts)
+            res = disc.rediscover(
+                Xs, Xt, _clone_warm(warm0), mode=kwargs.get("mode", warm_mode)
+            )
+            checks[name] = variant_equal(res)
+
+        # artifact roundtrip: the warm state must survive the v2 bundle and
+        # still drive an equivalent warm refit (the daemon restart path)
+        sep = FeatureSeparator(
+            FSConfig(
+                n_jobs=1,
+                prune_k=prune_k,
+                max_parents=max_parents,
+                max_cond_size=max_cond_size,
+                min_correlation=min_correlation,
+                stats_dtype=stats_dtype,
+                warm_mode=warm_mode,
+            )
+        ).fit(Xs, Xt_prior)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "separator.npz")
+            save_artifact(sep, path)
+            restored = load_artifact(path).estimator
+        rt_disc = FNodeDiscovery(n_jobs=1, **engine_kwargs)
+        rt = rt_disc.rediscover(Xs, Xt, restored.warm_state_, mode=warm_mode)
+        checks["roundtrip_equal"] = variant_equal(rt)
+
+        equivalent = bool(
+            all(checks.values())
+            and cold.coverage == 1.0
+            and after.coverage == 1.0
+        )
+        speedup = before_seconds / max(after_seconds, 1e-9)
+        logger.info(
+            "warm %d: %.2fs -> %.2fs (%.2fx, tests %d -> %d, equivalent=%s)",
+            width, before_seconds, after_seconds, speedup,
+            cold.n_tests, after.n_tests, equivalent,
+        )
+        record = BenchRecord(
+            suite="fs",
+            dataset="warm",
+            preset=str(int(width)),
+            seed=random_state,
+            before={
+                "fs_seconds": before_seconds,
+                "n_ci_tests": int(cold.n_tests),
+                "n_variant": int(cold.n_variant),
+            },
+            after={
+                "fs_seconds": after_seconds,
+                "n_ci_tests": int(after.n_tests),
+                "n_variant": int(after.n_variant),
+            },
+            speedup=speedup,
+            equivalent=equivalent,
+            extras={
+                "n_features": int(width),
+                "n_jobs": n_jobs,
+                "fs_rounds": fs_rounds,
+                "n_source": n_source,
+                "n_target": n_target,
+                "n_prior": n_prior,
+                "n_new_rows": int(n_target - n_prior),
+                "max_parents": int(max_parents),
+                "max_cond_size": int(max_cond_size),
+                "min_correlation": float(min_correlation),
+                "before_mode": f"cold+prune_k={prune_k}+{stats_dtype}",
+                "after_mode": (
+                    f"warm-{warm_mode}+prune_k={prune_k}+{stats_dtype}"
+                ),
+                "coverage": float(after.coverage),
+                "n_cache_entries": (
+                    int(warm0.cache.n_entries) if warm0.cache is not None else 0
+                ),
+                **checks,
+            },
+        ).to_dict()
+        records.append(record)
+        if out:
+            write_bench_record(record, out)
+            logger.info("benchmark record written to %s", out)
+    return records
+
+
 def cli_bench(args, preset, out: str) -> str:
     """CLI adapter for ``repro bench --suite fs`` (the registry hook)."""
-    from repro.experiments.reporting import format_bench, format_bench_wide
+    from repro.experiments.reporting import (
+        format_bench,
+        format_bench_warm,
+        format_bench_wide,
+    )
 
+    if getattr(args, "warm", False):
+        widths = tuple(int(w) for w in args.widths.split(",") if w.strip())
+        records = run_bench_warm(
+            widths,
+            n_jobs=args.n_jobs,
+            fs_rounds=args.rounds,
+            random_state=args.seed,
+            out=out,
+        )
+        return format_bench_warm(records)
     if getattr(args, "wide", False):
         widths = tuple(int(w) for w in args.widths.split(",") if w.strip())
         records = run_bench_wide(
@@ -420,7 +642,11 @@ def check_fs_record(record: dict) -> list[str]:
     pruned wide mode (flagged by ``after_mode``) the counts may drift a
     little — pruning reshapes the adaptive test schedule, so ties break
     differently — but the pruned engine running *materially more* tests
-    than the reference means pruning is not pruning.
+    than the reference means pruning is not pruning.  Warm records
+    (``after_mode`` contains ``warm``) must do strictly no more work than
+    the cold side and must carry every equivalence check
+    :func:`run_bench_warm` records (per-mode, per-fan-out-path and the
+    artifact roundtrip) as ``True``.
     """
     problems = []
     for side in ("before", "after"):
@@ -429,8 +655,33 @@ def check_fs_record(record: dict) -> list[str]:
             problems.append(f"{side}.fs_seconds must be > 0, got {seconds!r}")
     before_tests = record["before"].get("n_ci_tests")
     after_tests = record["after"].get("n_ci_tests")
-    pruned = "prune" in str(record.get("after_mode", ""))
-    if before_tests is not None and after_tests is not None:
+    after_mode = str(record.get("after_mode", ""))
+    pruned = "prune" in after_mode
+    warm = "warm" in after_mode
+    if warm:
+        if (
+            before_tests is not None
+            and after_tests is not None
+            and after_tests > before_tests
+        ):
+            problems.append(
+                f"warm re-discovery ran more tests than cold: "
+                f"{after_tests} > {before_tests}"
+            )
+        for key in (
+            "confirm_equal",
+            "exact_equal",
+            "serial_equal",
+            "pool_equal",
+            "shm_equal",
+            "roundtrip_equal",
+        ):
+            if record.get(key) is not True:
+                problems.append(
+                    f"warm equivalence check {key} must be true, "
+                    f"got {record.get(key)!r}"
+                )
+    elif before_tests is not None and after_tests is not None:
         if not pruned and before_tests != after_tests:
             problems.append(
                 f"CI test counts diverge without pruning: "

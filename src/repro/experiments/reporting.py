@@ -181,6 +181,26 @@ def format_bench_wide(records: list[dict]) -> str:
     return "\n".join(lines)
 
 
+def format_bench_warm(records: list[dict]) -> str:
+    """Render the ``repro bench --suite fs --warm`` re-discovery summary."""
+    lines = [
+        "Warm-start FS re-discovery (cold discover vs rediscover from the "
+        "prior run's WarmState, min-of-rounds wall clock)",
+        "  width | cold (s) | warm (s) | speedup | tests cold/warm | "
+        "new rows | equivalent",
+    ]
+    for record in records:
+        before, after = record["before"], record["after"]
+        lines.append(
+            f"  {record['n_features']:5d} | {before['fs_seconds']:8.2f} | "
+            f"{after['fs_seconds']:8.2f} | {record['speedup']:6.2f}x | "
+            f"{before['n_ci_tests']:6d} / {after['n_ci_tests']:6d}  | "
+            f"{record['n_new_rows']:8d} | "
+            + ("yes" if record["equivalent"] else "NO — RESULTS DIFFER")
+        )
+    return "\n".join(lines)
+
+
 def format_bench_nn(record: dict) -> str:
     """Render the ``repro bench --suite nn`` fused-engine summary."""
     before, after = record["before"], record["after"]

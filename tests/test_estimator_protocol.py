@@ -142,6 +142,84 @@ class TestStateRoundTrips:
             clone.generate(X_inv[:5], n_draws=2),
             gan.generate(X_inv[:5], n_draws=2))
 
+    def test_separator_warm_state_roundtrips(self, rng):
+        from repro.core.config import FSConfig
+        from repro.core.feature_separation import FeatureSeparator
+        from repro.experiments.bench import make_wide_pair
+
+        Xs, Xt = make_wide_pair(23, n_source=200, n_target=80, random_state=7)
+        sep = FeatureSeparator(FSConfig(warm_mode="confirm")).fit(Xs, Xt[:56])
+        assert sep.warm_state_ is not None
+        clone = _roundtrip(sep)
+        res, cres = sep.result_, clone.result_
+        np.testing.assert_array_equal(cres.variant_indices, res.variant_indices)
+        np.testing.assert_array_equal(cres.p_values, res.p_values)
+        np.testing.assert_array_equal(
+            cres.marginal_p_values, res.marginal_p_values)
+        assert cres.coverage == res.coverage
+        # the restored warm state drives an identical incremental refit
+        warm = clone.warm_state_
+        assert warm is not None
+        assert warm.source_fingerprint == sep.warm_state_.source_fingerprint
+        cold = FeatureSeparator(FSConfig()).fit(Xs, Xt)
+        refit = FeatureSeparator(FSConfig(warm_mode="confirm")).fit(
+            Xs, Xt, warm=warm)
+        np.testing.assert_array_equal(
+            refit.result_.variant_indices, cold.result_.variant_indices)
+        assert refit.result_.n_tests < cold.result_.n_tests
+
+    def test_budgeted_coverage_survives_roundtrip(self, rng):
+        from repro.core.config import FSConfig
+        from repro.core.feature_separation import FeatureSeparator
+        from repro.experiments.bench import make_wide_pair
+
+        Xs, Xt = make_wide_pair(23, n_source=200, n_target=80, random_state=7)
+        sep = FeatureSeparator(FSConfig(budget=2)).fit(Xs, Xt)
+        assert 0.0 <= sep.result_.coverage < 1.0
+        clone = _roundtrip(sep)
+        assert clone.result_.coverage == sep.result_.coverage
+        np.testing.assert_array_equal(
+            clone.result_.variant_indices, sep.result_.variant_indices)
+
+    def test_warm_artifact_fresh_interpreter(self, rng, tmp_path):
+        import subprocess
+        import sys
+        import textwrap
+
+        from repro.core.artifacts import save_artifact
+        from repro.core.config import FSConfig
+        from repro.core.feature_separation import FeatureSeparator
+        from repro.experiments.bench import make_wide_pair
+
+        Xs, Xt = make_wide_pair(23, n_source=200, n_target=80, random_state=7)
+        sep = FeatureSeparator(FSConfig(warm_mode="confirm")).fit(Xs, Xt[:56])
+        path = tmp_path / "sep.npz"
+        save_artifact(sep, path)
+        np.savez(tmp_path / "data.npz", Xs=Xs, Xt=Xt)
+        cold = FeatureSeparator(FSConfig()).fit(Xs, Xt)
+        script = textwrap.dedent("""
+            import sys
+            import numpy as np
+            from repro.core.artifacts import load_artifact
+            from repro.core.config import FSConfig
+            from repro.core.feature_separation import FeatureSeparator
+
+            data = np.load(sys.argv[2])
+            sep = load_artifact(sys.argv[1]).estimator
+            assert sep.warm_state_ is not None
+            refit = FeatureSeparator(FSConfig(warm_mode="confirm")).fit(
+                data["Xs"], data["Xt"], warm=sep.warm_state_)
+            print(",".join(map(str, refit.result_.variant_indices.tolist())))
+        """)
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(path),
+             str(tmp_path / "data.npz")],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        got = [int(s) for s in proc.stdout.strip().split(",") if s]
+        assert got == cold.result_.variant_indices.tolist()
+
     def test_prefix_isolation(self, rng):
         from repro.ml.preprocessing import MinMaxScaler, StandardScaler
 
