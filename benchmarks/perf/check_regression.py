@@ -3,7 +3,13 @@
 CI runs each benchmark suite into a *fresh* record file, then invokes
 
     python benchmarks/perf/check_regression.py \
-        --baseline BENCH_serve.json --fresh fresh/BENCH_serve.json
+        --baseline BENCH_serve.json --fresh fresh/BENCH_serve.json \
+        --baseline BENCH_adapt.json --fresh fresh/BENCH_adapt.json
+
+``--baseline``/``--fresh`` repeat and pair up positionally, so one
+invocation gates every suite of a CI run and the job reports **all**
+regressed keys across all suites in a single aggregated failure message
+instead of dying at the first bad pair.
 
 Only *speedup ratios* are compared — wall-clock seconds depend on the
 runner, but before/after are timed on the same machine in the same
@@ -12,8 +18,9 @@ when a fresh ratio drops more than ``--tolerance`` (default 25%) below
 the committed baseline's, i.e. the optimized path lost a chunk of its
 advantage over the reference path.
 
-Records present on only one side are reported but never fail the gate
-(new benchmarks land before their baseline is committed).
+Records present on only one side are reported but never fail the gate,
+and a *missing baseline file* is a skip-with-notice, not a failure (new
+benchmarks land before their baseline is committed).
 """
 
 from __future__ import annotations
@@ -111,33 +118,78 @@ def compare(baseline: dict, fresh: dict, *, tolerance: float) -> list[str]:
     return failures
 
 
+def gate_pair(baseline_path: str, fresh_path: str, *,
+              tolerance: float) -> list[str]:
+    """Gate one (baseline, fresh) file pair; returns its failure messages.
+
+    A missing baseline file is a skip-with-notice (new suites land their
+    record before the baseline is committed); every other problem — a
+    missing fresh file, unreadable JSON, a schema mismatch — fails the
+    pair, because it means the CI run did not produce what it promised.
+    """
+    if not os.path.exists(baseline_path):
+        print(f"  [skip] no baseline at {baseline_path}; nothing to gate "
+              f"(commit the fresh record to arm this gate)")
+        return []
+    try:
+        with open(baseline_path, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"{baseline_path}: unreadable baseline ({exc})"]
+    try:
+        with open(fresh_path, encoding="utf-8") as fh:
+            fresh = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"{fresh_path}: unreadable fresh record ({exc})"]
+    if baseline.get("schema") != fresh.get("schema"):
+        return [
+            f"{fresh_path}: schema mismatch (baseline "
+            f"{baseline.get('schema')!r} vs fresh {fresh.get('schema')!r})"
+        ]
+    prefix = os.path.basename(baseline_path)
+    return [f"{prefix} {failure}"
+            for failure in compare(baseline, fresh, tolerance=tolerance)]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True,
-                        help="committed BENCH_*.json")
-    parser.add_argument("--fresh", required=True,
-                        help="record file produced by this CI run")
+    parser.add_argument("--baseline", required=True, action="append",
+                        help="committed BENCH_*.json (repeatable; pairs "
+                        "with --fresh by position)")
+    parser.add_argument("--fresh", required=True, action="append",
+                        help="record file produced by this CI run "
+                        "(repeatable)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional drop in speedup (0.25 = 25%%)")
     args = parser.parse_args(argv)
     if not 0.0 < args.tolerance < 1.0:
         parser.error("tolerance must be in (0, 1)")
+    if len(args.baseline) != len(args.fresh):
+        parser.error(
+            f"--baseline/--fresh counts differ "
+            f"({len(args.baseline)} vs {len(args.fresh)}); they pair up "
+            f"positionally"
+        )
 
-    with open(args.baseline, encoding="utf-8") as fh:
-        baseline = json.load(fh)
-    with open(args.fresh, encoding="utf-8") as fh:
-        fresh = json.load(fh)
-    if baseline.get("schema") != fresh.get("schema"):
-        print(f"schema mismatch: baseline {baseline.get('schema')!r} "
-              f"vs fresh {fresh.get('schema')!r}", file=sys.stderr)
+    failures: list[str] = []
+    for baseline_path, fresh_path in zip(args.baseline, args.fresh):
+        print(f"gate: {fresh_path} vs {baseline_path} "
+              f"(tolerance {100 * args.tolerance:.0f}%)")
+        failures.extend(
+            gate_pair(baseline_path, fresh_path, tolerance=args.tolerance)
+        )
+    if failures:
+        # one aggregated message so a multi-suite run surfaces every
+        # regressed key at once instead of one per re-run
+        print(
+            f"\nregression gate FAILED: {len(failures)} regressed "
+            f"ratio(s) across {len(args.baseline)} suite pair(s):",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
         return 1
-
-    print(f"gate: {args.fresh} vs {args.baseline} "
-          f"(tolerance {100 * args.tolerance:.0f}%)")
-    failures = compare(baseline, fresh, tolerance=args.tolerance)
-    for failure in failures:
-        print(f"regression: {failure}", file=sys.stderr)
-    return 1 if failures else 0
+    return 0
 
 
 if __name__ == "__main__":

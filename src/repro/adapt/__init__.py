@@ -1,0 +1,31 @@
+"""Closed-loop adaptation lifecycle: lineage, controller, shadow scoring.
+
+The subsystem that turns the repo's one-shot drift mitigation into the
+continual loop the paper implies (§VI-F, Table III's sequential targets):
+
+- :mod:`repro.adapt.lineage` — versioned artifact lineage with
+  promote/rollback as pure pointer flips;
+- :mod:`repro.adapt.controller` — the alarm-driven WATCHING →
+  ACCUMULATING → REDISCOVERING → REFITTING → SHADOW → PROMOTED state
+  machine;
+- :mod:`repro.adapt.shadow` — candidate-vs-incumbent shadow scoring with
+  promotion/abort verdicts.
+"""
+
+from repro.adapt.controller import (
+    AdaptationConfig,
+    AdaptationController,
+    ShotBuffer,
+)
+from repro.adapt.lineage import ArtifactLineage, LineageVersion
+from repro.adapt.shadow import ShadowEvaluator, ShadowPolicy
+
+__all__ = [
+    "AdaptationConfig",
+    "AdaptationController",
+    "ArtifactLineage",
+    "LineageVersion",
+    "ShadowEvaluator",
+    "ShadowPolicy",
+    "ShotBuffer",
+]

@@ -1,0 +1,211 @@
+"""Shadow scoring: candidate-vs-incumbent divergence with a promotion verdict.
+
+During the SHADOW phase of the adaptation lifecycle, live traffic is scored
+on *both* the incumbent plan (whose answers are served) and the candidate
+plan (whose answers are only compared).  :class:`ShadowEvaluator` folds each
+shadow batch into running divergence statistics, publishes them as metrics,
+and applies a :class:`ShadowPolicy` to reach a verdict:
+
+``promote``
+    ``agreement_batches`` consecutive batches stayed within
+    ``max_disagreement`` (max abs probability difference) — the candidate
+    reproduces the incumbent's decisions on live traffic and is safe to
+    take over.
+``abort``
+    a single batch exceeded ``abort_disagreement`` (regression guard), or
+    ``max_batches`` shadow batches passed without a promotion — the
+    candidate is retired and the incumbent keeps serving.
+
+Metrics (via the process-global registry): the
+``adapt.shadow.disagreement`` histogram (per-batch max abs probability
+difference), ``adapt.shadow.batches_total`` / ``adapt.shadow.rows_total``
+counters, an ``adapt.shadow.agreement_streak`` gauge, and — when the
+caller also feeds reconstructed variant-feature blocks — per-feature
+``adapt.shadow.psi_delta{feature=j}`` gauges: the PSI of the candidate's
+reconstruction distribution against the incumbent's, minus the
+incumbent's own drift against the same frozen reference, so a positive
+delta isolates divergence the *candidate* introduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs.export import get_event_log
+from repro.obs.metrics import get_metrics
+from repro.obs.sketch import DistributionSketch
+from repro.utils.errors import ValidationError
+
+__all__ = ["ShadowEvaluator", "ShadowPolicy"]
+
+#: bounded cardinality for per-feature psi_delta gauges
+_MAX_FEATURE_GAUGES = 16
+
+
+@dataclass(frozen=True)
+class ShadowPolicy:
+    """Promotion/abort thresholds for one shadow evaluation."""
+
+    #: consecutive agreeing batches required to promote
+    agreement_batches: int = 3
+    #: per-batch max abs probability difference counting as agreement
+    max_disagreement: float = 5e-3
+    #: any batch above this aborts immediately (regression guard)
+    abort_disagreement: float = 0.5
+    #: give up (abort) after this many shadow batches without promotion
+    max_batches: int | None = 64
+
+    def __post_init__(self) -> None:
+        if self.agreement_batches < 1:
+            raise ValidationError("agreement_batches must be >= 1")
+        if not 0.0 <= self.max_disagreement:
+            raise ValidationError("max_disagreement must be >= 0")
+        if self.abort_disagreement < self.max_disagreement:
+            raise ValidationError(
+                "abort_disagreement must be >= max_disagreement"
+            )
+        if self.max_batches is not None and self.max_batches < 1:
+            raise ValidationError("max_batches must be >= 1 or None")
+
+
+class ShadowEvaluator:
+    """Streaming divergence scorer for one (incumbent, candidate) pair."""
+
+    def __init__(self, tenant: str, policy: ShadowPolicy | None = None,
+                 *, n_bins: int = 10) -> None:
+        self.tenant = str(tenant)
+        self.policy = policy or ShadowPolicy()
+        self.n_bins = int(n_bins)
+        self.batches = 0
+        self.rows = 0
+        self.agreement_streak = 0
+        self.label_flips = 0
+        self.max_abs_diff = 0.0
+        self.last_max_abs = 0.0
+        self.last_mean_abs = 0.0
+        self.verdict: str | None = None
+        self._inc_sketch: DistributionSketch | None = None
+        self._cand_sketch: DistributionSketch | None = None
+        self.psi_delta: np.ndarray | None = None
+
+    def observe(self, incumbent_proba, candidate_proba,
+                incumbent_features=None,
+                candidate_features=None) -> str | None:
+        """Fold one shadow batch in; returns the verdict once reached.
+
+        ``incumbent_proba`` / ``candidate_proba`` are the two plans'
+        probability rows for the *same* request rows.  The optional feature
+        blocks (both plans' reconstructed variant features for those rows)
+        feed the per-feature PSI-delta gauges.
+        """
+        if self.verdict is not None:
+            return self.verdict
+        inc = np.asarray(incumbent_proba, dtype=np.float64)
+        cand = np.asarray(candidate_proba, dtype=np.float64)
+        if inc.shape != cand.shape:
+            raise ValidationError(
+                f"shadow probability shapes differ: {inc.shape} vs {cand.shape}"
+            )
+        diff = np.abs(inc - cand)
+        max_abs = float(diff.max()) if diff.size else 0.0
+        mean_abs = float(diff.mean()) if diff.size else 0.0
+        flips = int(np.count_nonzero(
+            np.argmax(inc, axis=1) != np.argmax(cand, axis=1)
+        )) if inc.ndim == 2 and inc.shape[1] > 1 else 0
+
+        self.batches += 1
+        self.rows += int(inc.shape[0])
+        self.label_flips += flips
+        self.last_max_abs = max_abs
+        self.last_mean_abs = mean_abs
+        self.max_abs_diff = max(self.max_abs_diff, max_abs)
+        if incumbent_features is not None and candidate_features is not None:
+            self._update_feature_sketches(incumbent_features, candidate_features)
+
+        policy = self.policy
+        if max_abs <= policy.max_disagreement:
+            self.agreement_streak += 1
+        else:
+            self.agreement_streak = 0
+        self._publish(max_abs, mean_abs)
+
+        if max_abs > policy.abort_disagreement:
+            return self._decide("abort", reason="regression")
+        if self.agreement_streak >= policy.agreement_batches:
+            return self._decide("promote", reason="agreement_window")
+        if policy.max_batches is not None and self.batches >= policy.max_batches:
+            return self._decide("abort", reason="max_batches")
+        return None
+
+    # -- internals -----------------------------------------------------------
+
+    def _update_feature_sketches(self, inc_feats, cand_feats) -> None:
+        inc_feats = np.asarray(inc_feats, dtype=np.float64)
+        cand_feats = np.asarray(cand_feats, dtype=np.float64)
+        if inc_feats.size == 0 or inc_feats.shape != cand_feats.shape:
+            return
+        if self._inc_sketch is None:
+            # freeze the reference on the first batch's incumbent output;
+            # both streams then accumulate against the same baseline
+            self._inc_sketch = DistributionSketch(inc_feats, n_bins=self.n_bins)
+            self._cand_sketch = DistributionSketch(inc_feats, n_bins=self.n_bins)
+        self._inc_sketch.update(inc_feats)
+        self._cand_sketch.update(cand_feats)
+        self.psi_delta = self._cand_sketch.psi() - self._inc_sketch.psi()
+
+    def _publish(self, max_abs: float, mean_abs: float) -> None:
+        registry = get_metrics()
+        if not registry.enabled:
+            return
+        tenant = self.tenant
+        registry.histogram("adapt.shadow.disagreement", tenant=tenant).observe(
+            max_abs
+        )
+        registry.counter("adapt.shadow.batches_total", tenant=tenant).inc()
+        registry.counter("adapt.shadow.rows_total", tenant=tenant).inc(
+            int(self.rows)
+        )
+        registry.gauge("adapt.shadow.agreement_streak", tenant=tenant).set(
+            self.agreement_streak
+        )
+        registry.gauge("adapt.shadow.mean_abs_diff", tenant=tenant).set(
+            mean_abs
+        )
+        if self.psi_delta is not None and self.psi_delta.size:
+            worst = np.argsort(self.psi_delta)[::-1][:_MAX_FEATURE_GAUGES]
+            for j in worst:
+                delta = float(self.psi_delta[j])
+                if delta > 0.0:
+                    registry.gauge(
+                        "adapt.shadow.psi_delta", tenant=tenant, feature=int(j)
+                    ).set(delta)
+
+    def _decide(self, verdict: str, *, reason: str) -> str:
+        self.verdict = verdict
+        get_event_log().emit(
+            "adapt.shadow.verdict",
+            tenant=self.tenant,
+            verdict=verdict,
+            reason=reason,
+            batches=self.batches,
+            rows=self.rows,
+            label_flips=self.label_flips,
+            max_abs_diff=self.max_abs_diff,
+            agreement_streak=self.agreement_streak,
+        )
+        return verdict
+
+    def stats(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "batches": self.batches,
+            "rows": self.rows,
+            "agreement_streak": self.agreement_streak,
+            "label_flips": self.label_flips,
+            "max_abs_diff": self.max_abs_diff,
+            "last_max_abs": self.last_max_abs,
+            "last_mean_abs": self.last_mean_abs,
+            "verdict": self.verdict,
+        }

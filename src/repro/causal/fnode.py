@@ -232,6 +232,11 @@ class FNodeDiscovery:
         #: feed it to the next rediscover() (or persist it via the
         #: FeatureSeparator estimator state) to warm-start that run
         self.warm_state_: WarmState | None = None
+        #: CI-engine cache counters of the last discover()/rediscover()
+        #: call (design/beta/warm hits+misses plus warm invalidations) —
+        #: the warm-cache effectiveness evidence `repro rediscover --json`
+        #: reports
+        self.cache_stats_: dict | None = None
 
     def _candidates(self, corr: np.ndarray, j: int) -> tuple[int, ...]:
         """Top-``max_parents`` source-correlated features for column j."""
@@ -587,6 +592,12 @@ class FNodeDiscovery:
             n_features=d,
             params=self._params_key(),
         )
+        self.cache_stats_ = {
+            **{k: int(v) for k, v in engine.cache_stats.items()},
+            "warm_invalidated": int(invalidated),
+            "warmed": warm is not None,
+            "mode": mode if warm is not None else "cold",
+        }
         return result
 
     def _prune(

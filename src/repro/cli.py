@@ -14,6 +14,12 @@ Usage::
     python -m repro bench --suite fs --warm --widths 442 --n-jobs -1
     python -m repro rediscover --artifact pipe.npz --source src.npy \\
         --target pooled_target.npy --mode confirm --out pipe_updated.npz
+    python -m repro rediscover --artifact pipe.npz --source src.npy \\
+        --target pooled_target.npy --json   # exit 3 = variant set changed
+    python -m repro adapt run --width 442 --schedule abrupt --out BENCH_adapt.json
+    python -m repro adapt status --root artifacts
+    python -m repro adapt promote --root artifacts --tenant nf-east
+    python -m repro adapt rollback --root artifacts --tenant nf-east
     python -m repro serve --artifact pipe.npz --input batch.npy --output scores.npz
     python -m repro serve --artifact pipe.npz --input batch.npy --repeat 100 \\
         --track-drift --prom-port 9464 --snapshot-out metrics.jsonl
@@ -214,6 +220,65 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write the artifact with the refreshed separator and "
                    "warm state here (the reconstructor/GAN is NOT refit)")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable variant-set diff "
+                   "(added/removed/kept + warm-cache hit statistics) instead "
+                   "of the human report; the exit code is 3 when the variant "
+                   "set changed, 0 when it is unchanged")
+
+    p = sub.add_parser(
+        "adapt",
+        help="closed-loop adaptation lifecycle: scenario driver, lineage "
+        "status, one-command promote/rollback",
+    )
+    adapt_sub = p.add_subparsers(dest="adapt_command", required=True)
+    pr = adapt_sub.add_parser(
+        "run",
+        help="drive a known-onset drift schedule through the live "
+        "adaptation loop and report/record its figures of merit",
+    )
+    add_common(pr, dataset=False)
+    pr.add_argument("--width", type=int, default=442,
+                    help="synthetic feature width (default: the 442-feature "
+                    "warm-bench preset)")
+    pr.add_argument("--schedule", choices=("abrupt", "gradual"),
+                    default="abrupt", help="drift onset shape")
+    pr.add_argument("--onset-batch", type=int, default=10,
+                    help="first drifted batch (0-based; default 10)")
+    pr.add_argument("--batches", type=int, default=32,
+                    help="total traffic batches (default 32)")
+    pr.add_argument("--batch-rows", type=int, default=64,
+                    help="rows per traffic batch (default 64)")
+    pr.add_argument("--min-shots", type=int, default=64,
+                    help="post-alarm shots accumulated before refit")
+    pr.add_argument("--rounds", type=int, default=2,
+                    help="cold re-discovery timing rounds (min is kept)")
+    pr.add_argument("--root", metavar="DIR", default=None,
+                    help="artifact-lineage root to keep (default: a "
+                    "temporary directory discarded after the run)")
+    pr.add_argument("--out", metavar="PATH", default=None,
+                    help="merge a bench record into this file "
+                    "(BENCH_adapt.json layout)")
+    for name, help_text in (
+        ("status", "print a tenant's lineage: generations, states, pointer"),
+        ("promote", "activate the latest candidate/shadow version "
+         "(pure pointer flip)"),
+        ("rollback", "flip the active pointer back to the previous version"),
+    ):
+        pa = adapt_sub.add_parser(name, help=help_text)
+        add_common(pa, dataset=False)
+        pa.add_argument("--root", metavar="DIR", required=True,
+                        help="artifact-lineage root directory")
+        pa.add_argument("--tenant", metavar="NAME",
+                        default=None if name == "status" else None,
+                        required=name != "status",
+                        help="tenant name"
+                        + (" (default: every tenant under --root)"
+                           if name == "status" else ""))
+        if name == "promote":
+            pa.add_argument("--hash", metavar="CONTENT_HASH", default=None,
+                            help="promote this specific version (default: "
+                            "the latest candidate/shadow)")
 
     p = sub.add_parser(
         "serve",
@@ -351,8 +416,8 @@ def _make_recorder(args, preset) -> RunRecorder | None:
     )
 
 
-def _dispatch(args, preset) -> None:
-    """Run the selected subcommand and print its table."""
+def _dispatch(args, preset) -> int:
+    """Run the selected subcommand and print its table; returns an exit code."""
     if args.command == "table1":
         results = run_table1(
             args.dataset,
@@ -398,6 +463,7 @@ def _dispatch(args, preset) -> None:
         print(suite.run_cli(args, preset, out))
         print(f"\nrecord merged into {out}")
     elif args.command == "rediscover":
+        import json
         from dataclasses import replace
 
         from repro.core.artifacts import load_artifact, save_artifact
@@ -432,13 +498,28 @@ def _dispatch(args, preset) -> None:
         old = set(int(j) for j in sep.result_.variant_indices)
         new = set(int(j) for j in refreshed.result_.variant_indices)
         res = refreshed.result_
-        print(
-            f"warm ({args.mode}) re-discovery: {res.n_variant} variant "
-            f"features ({res.n_tests} CI tests, coverage {res.coverage:.2f})"
-        )
         added, removed = sorted(new - old), sorted(old - new)
-        print(f"  newly variant:   {added if added else '(none)'}")
-        print(f"  newly invariant: {removed if removed else '(none)'}")
+        kept = sorted(new & old)
+        changed = bool(added or removed)
+        if args.json:
+            print(json.dumps({
+                "mode": args.mode,
+                "n_variant": int(res.n_variant),
+                "n_tests": int(res.n_tests),
+                "coverage": float(res.coverage),
+                "changed": changed,
+                "added": added,
+                "removed": removed,
+                "kept": kept,
+                "warm_cache": refreshed.cache_stats_,
+            }, indent=2, sort_keys=True))
+        else:
+            print(
+                f"warm ({args.mode}) re-discovery: {res.n_variant} variant "
+                f"features ({res.n_tests} CI tests, coverage {res.coverage:.2f})"
+            )
+            print(f"  newly variant:   {added if added else '(none)'}")
+            print(f"  newly invariant: {removed if removed else '(none)'}")
         if args.out:
             if sep is estimator:
                 save_artifact(refreshed, args.out,
@@ -449,11 +530,18 @@ def _dispatch(args, preset) -> None:
                 save_artifact(estimator, args.out,
                               provenance=loaded.provenance or None,
                               monitor=loaded.monitor)
-                print(
-                    "note: the reconstructor/GAN was not refit — rerun "
-                    "pipeline training to adapt it to the new variant set"
-                )
-            print(f"updated artifact written to {args.out}")
+                if not args.json:
+                    print(
+                        "note: the reconstructor/GAN was not refit — rerun "
+                        "pipeline training to adapt it to the new variant set"
+                    )
+            if not args.json:
+                print(f"updated artifact written to {args.out}")
+        # scripting contract: a changed variant set exits 3 so callers can
+        # gate a full refit on it (0 = unchanged, like diff's 0/1 idiom)
+        return 3 if changed else 0
+    elif args.command == "adapt":
+        return _dispatch_adapt(args, preset)
     elif args.command == "serve" and args.daemon:
         from repro.serve import DaemonConfig, run_daemon
 
@@ -562,6 +650,125 @@ def _dispatch(args, preset) -> None:
         print(format_loadgen(result))
 
 
+def _dispatch_adapt(args, preset) -> int:
+    """The ``repro adapt`` lifecycle subcommands."""
+    from repro.utils.errors import ReproError
+
+    if args.adapt_command == "run":
+        from repro.experiments.drift_schedule import (
+            format_bench_adapt,
+            run_bench_adapt,
+            run_adapt_scenario,
+        )
+
+        if args.out:
+            records = run_bench_adapt(
+                (args.width,),
+                schedule=args.schedule,
+                cold_rounds=max(1, args.rounds),
+                min_shots=args.min_shots,
+                n_jobs=args.n_jobs,
+                random_state=args.seed,
+                out=args.out,
+            )
+            print(format_bench_adapt(records))
+            print(f"\nrecord merged into {args.out}")
+            return 0
+        result = run_adapt_scenario(
+            args.width,
+            schedule=args.schedule,
+            n_batches=args.batches,
+            batch_rows=args.batch_rows,
+            onset_batch=args.onset_batch,
+            min_shots=args.min_shots,
+            cold_rounds=max(1, args.rounds),
+            n_jobs=args.n_jobs,
+            random_state=args.seed,
+            root=args.root,
+        )
+        print(
+            f"adapt scenario ({result['schedule']}, width {result['width']}):"
+        )
+        print(
+            f"  onset batch {result['onset_batch']}, alarm batch "
+            f"{result['alarm_batch']} (detection latency "
+            f"{result['detection_latency_batches']} batches)"
+        )
+        print(f"  shots to refit: {result['shots_to_refit']}")
+        if result.get("rediscover_warm_seconds") is not None:
+            print(
+                f"  warm re-discovery: {result['rediscover_warm_seconds']:.3f}s"
+                + (
+                    f" (cold {result['rediscover_cold_seconds']:.3f}s, "
+                    f"{result['warm_speedup']:.2f}x, variant sets "
+                    + ("equal" if result.get("variant_equivalent")
+                       else "DIFFER")
+                    + ")"
+                    if "rediscover_cold_seconds" in result else ""
+                )
+            )
+        if result.get("alarm_to_promotion_seconds") is not None:
+            print(
+                f"  alarm -> promotion: "
+                f"{result['alarm_to_promotion_seconds']:.3f}s "
+                f"(generation {result['generation']})"
+            )
+        print(f"  final state: {result['final_state']}")
+        if args.root:
+            print(f"  lineage kept under {args.root}")
+        return 0 if result["promoted"] else 1
+
+    # status / promote / rollback operate on an existing lineage root
+    from repro.adapt.lineage import ArtifactLineage
+
+    lineage = ArtifactLineage(args.root)
+    try:
+        if args.adapt_command == "status":
+            tenants = [args.tenant] if args.tenant else lineage.tenants()
+            if not tenants:
+                print(f"no lineage-managed tenants under {args.root}")
+                return 1
+            for tenant in tenants:
+                active = lineage.active(tenant)
+                previous = lineage.previous(tenant)
+                print(f"{tenant}:")
+                for v in lineage.history(tenant):
+                    marker = (
+                        "*" if active and v.content_hash == active.content_hash
+                        else ("-" if previous
+                              and v.content_hash == previous.content_hash
+                              else " ")
+                    )
+                    print(
+                        f"  {marker} gen {v.generation}  "
+                        f"{v.lifecycle_state:<9}  {v.content_hash[:12]}  "
+                        f"{v.file}"
+                    )
+                if previous is not None:
+                    print(
+                        f"  rollback would restore gen {previous.generation} "
+                        f"({previous.content_hash[:12]})"
+                    )
+            return 0
+        elif args.adapt_command == "promote":
+            version = lineage.promote(args.tenant, args.hash)
+            print(
+                f"promoted {args.tenant} to gen {version.generation} "
+                f"({version.content_hash[:12]}); active pointer flipped"
+            )
+            return 0
+        else:  # rollback
+            version = lineage.rollback(args.tenant)
+            print(
+                f"rolled {args.tenant} back to gen {version.generation} "
+                f"({version.content_hash[:12]}); active pointer flipped"
+            )
+            return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _dispatch_obs(args) -> int:
     """Run the offline ``repro obs`` inspection subcommands."""
     from repro.obs import diff_runs, summarize_run, tail_events
@@ -596,15 +803,14 @@ def main(argv=None) -> int:
     recorder = _make_recorder(args, preset)
 
     if recorder is None:
-        _dispatch(args, preset)
-        return 0
+        return _dispatch(args, preset) or 0
     with recorder:
-        _dispatch(args, preset)
+        code = _dispatch(args, preset) or 0
     for path in (
         [recorder.run_dir] if recorder.run_dir else []
     ) + ([recorder.metrics_path] if recorder.metrics_path else []):
         print(f"[obs] telemetry written to {path}", file=sys.stderr)
-    return 0
+    return code
 
 
 if __name__ == "__main__":

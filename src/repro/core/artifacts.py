@@ -37,6 +37,9 @@ from repro.utils.validation import check_is_fitted
 ARTIFACT_SCHEMA = "repro.artifact"
 ARTIFACT_SCHEMA_VERSION = 2
 
+#: allowed ``lifecycle_state`` values of the optional lineage manifest block
+LIFECYCLE_STATES = ("candidate", "shadow", "active", "retired")
+
 _MANIFEST_KEY = "__manifest__"
 
 
@@ -50,6 +53,42 @@ def _content_hash(arrays: dict) -> str:
         digest.update(str(arr.shape).encode("ascii"))
         digest.update(arr.tobytes())
     return digest.hexdigest()
+
+
+def _lineage_to_jsonable(lineage) -> dict | None:
+    """Validate and normalize the optional lineage manifest block.
+
+    The block is additive to schema v2: older readers ignore the extra
+    manifest key, so no version bump is needed.  ``parent_hash`` is the
+    content hash of the bundle this one was adapted from (None for
+    generation 0), ``generation`` counts adaptation hops from the original
+    source fit, and ``lifecycle_state`` tracks the rollout position.
+    """
+    if lineage is None:
+        return None
+    if not isinstance(lineage, dict):
+        raise ArtifactError("lineage must be a dict or None")
+    state = lineage.get("lifecycle_state", "candidate")
+    if state not in LIFECYCLE_STATES:
+        raise ArtifactError(
+            f"unknown lifecycle_state {state!r} "
+            f"(expected one of {', '.join(LIFECYCLE_STATES)})"
+        )
+    parent = lineage.get("parent_hash")
+    if parent is not None and not isinstance(parent, str):
+        raise ArtifactError("lineage parent_hash must be a hex string or None")
+    generation = int(lineage.get("generation", 0))
+    if generation < 0:
+        raise ArtifactError("lineage generation must be >= 0")
+    out = {
+        "parent_hash": parent,
+        "generation": generation,
+        "lifecycle_state": state,
+    }
+    for key, value in lineage.items():
+        if key not in out:
+            out[key] = value
+    return out
 
 
 def _monitor_to_jsonable(monitor) -> dict | None:
@@ -120,14 +159,22 @@ class LoadedArtifact:
     def monitor(self) -> dict | None:
         return self.manifest.get("monitor")
 
+    @property
+    def lineage(self) -> dict | None:
+        """Optional lineage block: parent_hash / generation / lifecycle_state."""
+        return self.manifest.get("lineage")
 
-def save_artifact(estimator: Estimator, path, *, provenance=None, monitor=None) -> Path:
+
+def save_artifact(estimator: Estimator, path, *, provenance=None, monitor=None,
+                  lineage=None) -> Path:
     """Serialize ``estimator`` into a versioned ``.npz`` bundle at ``path``.
 
     ``provenance`` (dataset / seed / config dict) and ``monitor`` (drift
-    thresholds) are recorded verbatim in the manifest.  A ``.manifest.json``
-    sidecar is written next to the bundle for tooling that wants the metadata
-    without parsing npz.
+    thresholds) are recorded verbatim in the manifest; ``lineage`` is the
+    optional adaptation-lineage block (``parent_hash`` / ``generation`` /
+    ``lifecycle_state``, see :mod:`repro.adapt.lineage`).  A
+    ``.manifest.json`` sidecar is written next to the bundle for tooling
+    that wants the metadata without parsing npz.
     """
     path = Path(path)
     arrays = pack_estimator(estimator)
@@ -143,6 +190,7 @@ def save_artifact(estimator: Estimator, path, *, provenance=None, monitor=None) 
         "params": header["params"],
         "provenance": dict(provenance) if provenance else None,
         "monitor": _monitor_to_jsonable(monitor),
+        "lineage": _lineage_to_jsonable(lineage),
         "plan": plan,
         "content_hash": _content_hash(arrays),
     }

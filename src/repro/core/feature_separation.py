@@ -44,6 +44,9 @@ class FeatureSeparator(Estimator):
         self.result_: FNodeResult | None = None
         self.n_features_: int | None = None
         self.warm_state_: WarmState | None = None
+        #: CI-engine cache counters of the producing discovery run (or
+        #: None for a separator restored from artifact state)
+        self.cache_stats_: dict | None = None
 
     def state_dict(self) -> dict[str, np.ndarray]:
         check_is_fitted(self, "result_")
@@ -169,6 +172,7 @@ class FeatureSeparator(Estimator):
                 self.result_ = discovery.discover(X_source, X_target)
             span.tag(n_variant=self.result_.n_variant, n_tests=self.result_.n_tests)
         self.warm_state_ = discovery.warm_state_
+        self.cache_stats_ = discovery.cache_stats_
         self.n_features_ = X_source.shape[1]
         events = get_event_log()
         if events.enabled:

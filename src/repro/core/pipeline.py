@@ -195,6 +195,13 @@ class FSGANPipeline(Estimator):
         instead of paying full cold cost, falling back to cold on any guard
         mismatch.  Set ``warm_mode="off"`` to force cold refits.
         """
+        warm = getattr(getattr(self, "separator_", None), "warm_state_", None)
+        with get_tracer().span("pipeline.refit_adapter", warm=warm is not None):
+            self.rediscover_fs(X_target_few)
+            self.refit_reconstruction()
+        return self
+
+    def _require_fit_cache(self) -> tuple:
         check_is_fitted(self, "model_")
         if self._fit_cache is None:
             if getattr(self, "_cache_released", False):
@@ -204,19 +211,34 @@ class FSGANPipeline(Estimator):
                     "to refresh the adapter again"
                 )
             raise ValidationError("refit_adapter requires the pipeline to be fitted")
-        Xs, y_source = self._fit_cache
+        return self._fit_cache
+
+    def rediscover_fs(self, X_target_few) -> "FeatureSeparator":
+        """Stage 1 of :meth:`refit_adapter`: warm FS re-discovery only.
+
+        Replaces ``separator_`` (warm-started from the incumbent's
+        ``warm_state_`` when present) and returns it, leaving the
+        reconstruction model untouched — callers that need the
+        re-discovery/refit boundary (the adaptation controller's
+        REDISCOVERING → REFITTING transition) drive the two stages
+        separately; :meth:`refit_adapter` runs both.
+        """
+        Xs, _ = self._require_fit_cache()
         Xt = self.scaler_.transform(check_array(X_target_few, name="X_target_few"))
         warm = getattr(getattr(self, "separator_", None), "warm_state_", None)
-        with get_tracer().span("pipeline.refit_adapter", warm=warm is not None):
-            self.separator_ = FeatureSeparator(self.fs_config).fit(
-                Xs, Xt, warm=warm
-            )
-            X_inv, X_var = self.separator_.split(Xs)
-            self.reconstructor_ = VariantReconstructor(
-                self.reconstruction_config, random_state=self.random_state
-            )
-            self.reconstructor_.fit(X_inv, X_var, y_source, hooks=self.hooks)
-        return self
+        self.separator_ = FeatureSeparator(self.fs_config).fit(Xs, Xt, warm=warm)
+        return self.separator_
+
+    def refit_reconstruction(self) -> "VariantReconstructor":
+        """Stage 2 of :meth:`refit_adapter`: retrain the reconstruction model
+        for the current ``separator_`` (the downstream model stays frozen)."""
+        Xs, y_source = self._require_fit_cache()
+        X_inv, X_var = self.separator_.split(Xs)
+        self.reconstructor_ = VariantReconstructor(
+            self.reconstruction_config, random_state=self.random_state
+        )
+        self.reconstructor_.fit(X_inv, X_var, y_source, hooks=self.hooks)
+        return self.reconstructor_
 
     def release_training_cache(self) -> "FSGANPipeline":
         """Drop the retained scaled source matrix to shrink the live footprint.

@@ -22,6 +22,11 @@ from repro.experiments.bench_serve import (
     run_bench_serve,
     run_bench_serve_sustained,
 )
+from repro.experiments.drift_schedule import (
+    make_drift_schedule,
+    run_adapt_scenario,
+    run_bench_adapt,
+)
 from repro.experiments.loadgen import build_requests, replay_capture, run_loadgen
 from repro.experiments.models import MODEL_NAMES, model_factories
 from repro.experiments.multitarget import run_multitarget
@@ -77,13 +82,16 @@ __all__ = [
     "get_preset",
     "get_suite",
     "make_benchmark",
+    "make_drift_schedule",
     "make_wide_pair",
     "measure_runtime",
     "model_factories",
     "reference_discover",
     "replay_capture",
     "run_ablation",
+    "run_adapt_scenario",
     "run_bench",
+    "run_bench_adapt",
     "run_bench_warm",
     "bench_serve_record",
     "run_bench_nn",

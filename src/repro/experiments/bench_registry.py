@@ -130,6 +130,16 @@ SUITES: dict[str, BenchSuite] = {
             cli="repro.experiments.bench_serve:cli_bench_serve",
             oracle="repro.experiments.bench_serve:check_serve_record",
         ),
+        BenchSuite(
+            name="adapt",
+            schema="repro.bench.adapt/v1",
+            default_out="BENCH_adapt.json",
+            description="closed-loop adaptation lifecycle: cold FS "
+            "re-discovery vs the in-loop warm rediscover, plus detection "
+            "latency and alarm-to-promotion wall time",
+            cli="repro.experiments.drift_schedule:cli_bench_adapt",
+            oracle="repro.experiments.drift_schedule:check_adapt_record",
+        ),
     )
 }
 

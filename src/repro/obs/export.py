@@ -27,16 +27,47 @@ from repro.utils.errors import ValidationError
 
 
 class EventLog:
-    """Append-only structured event collector."""
+    """Append-only structured event collector with live subscriptions.
+
+    ``subscribe`` registers a callback for matching event kinds; callbacks
+    fire on every ``emit`` — including on :class:`NullEventLog`, which
+    discards the record but still notifies.  That lets reactive components
+    (the adaptation controller watching ``drift.alarm``) work whether or
+    not an observability session is recording.
+    """
 
     enabled = True
 
     def __init__(self) -> None:
         self.events: list[dict] = []
+        self._subscribers: list[tuple[object, frozenset | None]] = []
+
+    def subscribe(self, callback, kinds=None) -> None:
+        """Call ``callback(kind, fields)`` on every emit of a matching kind.
+
+        ``kinds`` is an iterable of event kinds to match (None = all).
+        Subscriber exceptions propagate to the emitter — reactive hooks
+        should catch their own errors.
+        """
+        matched = frozenset(kinds) if kinds is not None else None
+        self._subscribers.append((callback, matched))
+
+    def unsubscribe(self, callback) -> None:
+        """Remove every subscription of ``callback`` (missing is a no-op)."""
+        self._subscribers = [
+            (cb, kinds) for cb, kinds in self._subscribers if cb is not callback
+        ]
+
+    def _notify(self, kind: str, fields: dict) -> None:
+        for callback, kinds in list(self._subscribers):
+            if kinds is None or kind in kinds:
+                callback(kind, fields)
 
     def emit(self, kind: str, **fields) -> None:
         """Record one event; ``kind`` names the event type."""
         self.events.append({"kind": kind, **_jsonable(fields)})
+        if self._subscribers:
+            self._notify(kind, fields)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -46,12 +77,13 @@ class EventLog:
 
 
 class NullEventLog(EventLog):
-    """No-op event log: ``emit`` discards everything."""
+    """No-op event log: ``emit`` discards the record (but still notifies)."""
 
     enabled = False
 
     def emit(self, kind: str, **fields) -> None:
-        return None
+        if self._subscribers:
+            self._notify(kind, fields)
 
 
 NULL_EVENT_LOG = NullEventLog()

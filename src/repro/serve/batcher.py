@@ -63,6 +63,11 @@ class PaddedExecutor:
             raise ValidationError("micro-batch capacity must be >= 1")
         self.plan = plan
         self.capacity = int(capacity)
+        #: workspace view of the last execution's merged feature matrix
+        #: (``last_rows`` live rows) — read by shadow scoring for per-feature
+        #: divergence; valid until the next :meth:`score` call
+        self.last_merged: np.ndarray | None = None
+        self.last_rows = 0
 
     def check_request(self, X) -> np.ndarray:
         """Validate one request batch; returns a float64 C-order copy."""
@@ -117,6 +122,8 @@ class PaddedExecutor:
             X_inv = plan._split_stage(Xs)
             X_var = self._reconstruct(X_inv, sizes, m)
             merged = plan._merge_stage(X_inv, X_var)
+            self.last_merged = merged
+            self.last_rows = m
             proba = plan.model.predict_proba(merged)
         out = []
         off = 0
@@ -147,6 +154,7 @@ class PaddedExecutor:
                 # one draw per request, in admission order — the exact RNG
                 # consumption pattern of per-request scoring
                 plan._rng.standard_normal(out=z[block])
+                plan.rng_draws += z[block].size
                 for d in range(n_draws):
                     g_in[g_off + d * n:g_off + (d + 1) * n, :n_inv] = (
                         X_inv[off:off + n]
@@ -371,6 +379,10 @@ class MicroBatcher:
                     pending.error = exc
                     pending._event.set()
                 continue
+            shadow = self.cache.shadow_for(tenant) if hasattr(
+                self.cache, "shadow_for") else None
+            if shadow is not None and shadow.verdict is None:
+                self._shadow_score(shadow, batch, probas, entry)
             now = time.perf_counter()
             rows = sum(p.X.shape[0] for p in batch)
             self.batches += 1
@@ -391,6 +403,42 @@ class MicroBatcher:
             for pending, proba in zip(batch, probas):
                 pending.proba = proba
                 pending._event.set()
+
+    def _shadow_score(self, shadow, batch, probas, entry) -> None:
+        """Score the same micro-batch on the shadow candidate and compare.
+
+        Runs after the incumbent's answers are computed but before they are
+        delivered to waiters; the candidate's probabilities never leave
+        this method — only divergence statistics do.  A shadow failure is
+        contained: it counts as an error (three strikes aborts the shadow)
+        and the incumbent's results flow on untouched.
+        """
+        try:
+            segments = [p.X for p in batch]
+            inc_plan = entry.plan
+            inc_exec = entry.executor
+            m = inc_exec.last_rows
+            inc_var = np.array(
+                inc_exec.last_merged[:m][:, inc_plan._var_idx], copy=True
+            )
+            cand_probas = shadow.entry.executor.score(segments)
+            cand_plan = shadow.entry.plan
+            cand_exec = shadow.entry.executor
+            cand_var = cand_exec.last_merged[:m][:, cand_plan._var_idx]
+            verdict = shadow.evaluator.observe(
+                np.vstack(probas), np.vstack(cand_probas), inc_var, cand_var
+            )
+        except Exception:  # noqa: BLE001 — shadow must not break serving
+            shadow.errors += 1
+            get_metrics().counter("adapt.shadow.errors_total").inc()
+            verdict = "abort" if shadow.errors >= 3 else None
+        if verdict is not None:
+            shadow.verdict = verdict
+            if shadow.on_verdict is not None:
+                try:
+                    shadow.on_verdict(shadow)
+                except Exception:  # noqa: BLE001
+                    get_metrics().counter("adapt.shadow.errors_total").inc()
 
     # -- stats ---------------------------------------------------------------
 

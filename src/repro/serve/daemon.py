@@ -56,6 +56,19 @@ class DaemonConfig:
     request_timeout: float = 30.0
     #: optional Prometheus exposition port (None = off)
     prom_port: int | None = None
+    #: manage an ArtifactLineage over ``root`` (shadow mode, promote,
+    #: rollback and the /v1/admin endpoints need it)
+    manage_lineage: bool = True
+    #: flip the lineage pointer automatically on a winning shadow verdict
+    auto_promote: bool = True
+    #: shadow policy: consecutive agreeing batches required to promote
+    shadow_agreement_batches: int = 3
+    #: shadow policy: per-batch max abs proba diff counting as agreement
+    shadow_max_disagreement: float = 5e-3
+    #: shadow policy: immediate abort threshold (regression guard)
+    shadow_abort_disagreement: float = 0.5
+    #: shadow policy: abort after this many batches without promotion
+    shadow_max_batches: int | None = 64
     extra: dict = field(default_factory=dict)
 
 
@@ -72,6 +85,8 @@ class ServeDaemon:
         self.batcher: MicroBatcher | None = None
         self.http = None
         self.prometheus = None
+        self.lineage = None
+        self._shadow_results: dict = {}
         self._previous_registry = None
         self._owns_registry = False
         self._started_at: float | None = None
@@ -104,6 +119,10 @@ class ServeDaemon:
         self.batcher = MicroBatcher(
             self.cache, max_wait=cfg.max_wait, coalesce=cfg.coalesce
         ).start()
+        if cfg.manage_lineage:
+            from repro.adapt.lineage import ArtifactLineage
+
+            self.lineage = ArtifactLineage(cfg.root)
         if cfg.port is not None:
             from repro.serve.server import DaemonHTTPServer
 
@@ -161,6 +180,115 @@ class ServeDaemon:
         timeout = timeout if timeout is not None else self.config.request_timeout
         return self.submit(tenant, X).result(timeout)
 
+    # -- adaptation lifecycle ------------------------------------------------
+
+    def _require_lineage(self):
+        if self.lineage is None:
+            raise ValidationError(
+                "daemon has no artifact lineage (manage_lineage=False)"
+            )
+        return self.lineage
+
+    def shadow_policy(self):
+        """The ShadowPolicy assembled from the daemon config."""
+        from repro.adapt.shadow import ShadowPolicy
+
+        cfg = self.config
+        return ShadowPolicy(
+            agreement_batches=cfg.shadow_agreement_batches,
+            max_disagreement=cfg.shadow_max_disagreement,
+            abort_disagreement=cfg.shadow_abort_disagreement,
+            max_batches=cfg.shadow_max_batches,
+        )
+
+    def start_shadow(self, tenant: str, content_hash: str | None = None, *,
+                     policy=None):
+        """Shadow-score a candidate version against the incumbent.
+
+        ``content_hash`` defaults to the tenant's most recent
+        candidate/shadow lineage version.  Live traffic keeps being
+        answered by the incumbent; once the evaluator reaches a verdict
+        the candidate is auto-promoted (pointer flip, picked up by the
+        stat-triggered hot reload — no restart) or retired, per
+        ``config.auto_promote``.
+        """
+        from repro.adapt.shadow import ShadowEvaluator
+
+        if not self.running:
+            raise ValidationError("daemon is not running")
+        lineage = self._require_lineage()
+        if content_hash is None:
+            pending = [v for v in lineage.history(tenant)
+                       if v.lifecycle_state in ("candidate", "shadow")]
+            if not pending:
+                raise ValidationError(
+                    f"tenant {tenant!r} has no candidate version to shadow"
+                )
+            version = pending[-1]
+        else:
+            candidates = [v for v in lineage.history(tenant)
+                          if v.content_hash == content_hash]
+            if not candidates:
+                raise ValidationError(
+                    f"tenant {tenant!r} has no version {content_hash!r}"
+                )
+            version = candidates[0]
+        lineage.mark(tenant, version.content_hash, "shadow")
+        evaluator = ShadowEvaluator(tenant, policy or self.shadow_policy())
+        self._shadow_results.pop(tenant, None)
+        return self.cache.start_shadow(
+            tenant, lineage.version_path(version), version.content_hash,
+            evaluator=evaluator, on_verdict=self._on_shadow_verdict,
+        )
+
+    def _on_shadow_verdict(self, state) -> None:
+        """Scorer-thread callback: act on a shadow verdict."""
+        tenant = state.tenant
+        self._shadow_results[tenant] = {
+            "verdict": state.verdict,
+            "content_hash": state.content_hash,
+            **(state.evaluator.stats()
+               if hasattr(state.evaluator, "stats") else {}),
+        }
+        try:
+            if self.lineage is not None:
+                if state.verdict == "promote" and self.config.auto_promote:
+                    # pure pointer flip; the cache's stat-triggered reload
+                    # serves the candidate from the next request on
+                    self.lineage.promote(tenant, state.content_hash)
+                elif state.verdict != "promote":
+                    self.lineage.mark(tenant, state.content_hash, "retired")
+        finally:
+            self.cache.stop_shadow(tenant)
+
+    def shadow_verdict(self, tenant: str) -> str | None:
+        """The last completed shadow verdict for ``tenant`` (None = pending)."""
+        result = self._shadow_results.get(tenant)
+        if result is not None:
+            return result["verdict"]
+        state = self.cache.shadow_for(tenant) if self.cache is not None else None
+        return state.verdict if state is not None else None
+
+    def promote(self, tenant: str, content_hash: str | None = None):
+        """Manually flip the lineage pointer (stops any live shadow first)."""
+        lineage = self._require_lineage()
+        if self.cache is not None:
+            self.cache.stop_shadow(tenant)
+        return lineage.promote(tenant, content_hash)
+
+    def rollback(self, tenant: str):
+        """One-command rollback: pointer flip back to the previous version.
+
+        The reload is picked up on the next request; because the restored
+        bundle's content hash differs from the demoted one's, the plan
+        cache resets the tenant's noise stream to the artifact's saved
+        state — replayed traffic scores bit-identically to pre-promotion.
+        """
+        lineage = self._require_lineage()
+        if self.cache is not None:
+            self.cache.stop_shadow(tenant)
+        return lineage.rollback(tenant)
+
     # -- introspection -------------------------------------------------------
 
     def stats(self) -> dict:
@@ -176,6 +304,8 @@ class ServeDaemon:
             "batcher": self.batcher.stats(),
             "cache": self.cache.stats(),
         }
+        if self._shadow_results:
+            out["shadow_results"] = dict(self._shadow_results)
         if registry.enabled:
             latency = {}
             for name in ("daemon.request_seconds", "daemon.queue_seconds",

@@ -29,7 +29,7 @@ from repro.obs.trace import get_tracer
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_array, check_is_fitted
 
-__all__ = ["InferencePlan", "clone_rng"]
+__all__ = ["InferencePlan", "clone_rng", "fast_forward_rng"]
 
 
 def clone_rng(rng: np.random.Generator) -> np.random.Generator:
@@ -37,6 +37,31 @@ def clone_rng(rng: np.random.Generator) -> np.random.Generator:
     new = np.random.Generator(type(rng.bit_generator)())
     new.bit_generator.state = rng.bit_generator.state
     return new
+
+
+def fast_forward_rng(plan: "InferencePlan", n_values: int) -> "InferencePlan":
+    """Advance a freshly compiled plan's noise stream by ``n_values`` draws.
+
+    ``Generator.standard_normal`` produces one sequential value stream:
+    drawing N values in chunks yields the same values *and* final state as
+    one N-value call, so discarding ``n_values`` draws lands the plan on
+    exactly the state an uninterrupted plan would have reached.  The serve
+    cache uses this to resume a tenant's stream after eviction or reload
+    (see :class:`repro.serve.registry.PlanCache`).
+    """
+    remaining = int(n_values)
+    if remaining < 0:
+        raise ValidationError("cannot fast-forward a negative draw count")
+    if remaining and plan._rng is None:
+        raise ValidationError("plan has no RNG stream to fast-forward")
+    if remaining:
+        scratch = np.empty(min(remaining, 65536), dtype=np.float64)
+        while remaining > 0:
+            chunk = min(remaining, scratch.size)
+            plan._rng.standard_normal(out=scratch[:chunk])
+            remaining -= chunk
+    plan.rng_draws = int(n_values)
+    return plan
 
 
 class InferencePlan:
@@ -75,6 +100,13 @@ class InferencePlan:
         self._recon = pipeline.reconstructor_.model_
         rng = getattr(self._recon, "_rng", None)
         self._rng = clone_rng(rng) if rng is not None else None
+        #: standard-normal values drawn from ``_rng`` since compile — the
+        #: plan's position in the artifact's noise stream.  Because numpy's
+        #: Generator produces normals as one sequential value stream, a
+        #: fresh plan fast-forwarded by this count lands on the identical
+        #: RNG state (see ``fast_forward_rng``), which is how the serve
+        #: cache keeps eviction/reload bit-identical mid-stream.
+        self.rng_draws = 0
         self.spec = pipeline.export_plan()
 
     # -- stages (each replays the live pipeline's exact ufunc sequence) ------
@@ -103,6 +135,7 @@ class InferencePlan:
             g_in = ws.get("g_in", (n_draws * n, self._n_inv + recon.noise_dim), dt)
             z = ws.get("z", (n_draws * n, recon.noise_dim), np.float64)
             self._rng.standard_normal(out=z)
+            self.rng_draws += z.size
             inv_rows = g_in[:, : self._n_inv]
             for d in range(n_draws):
                 inv_rows[d * n : (d + 1) * n] = X_inv
@@ -113,6 +146,7 @@ class InferencePlan:
             dec_in = ws.get("dec_in", (n_draws * n, self._n_inv + recon.latent_dim), dt)
             z = ws.get("z", (n_draws * n, recon.latent_dim), np.float64)
             self._rng.standard_normal(out=z)
+            self.rng_draws += z.size
             inv_rows = dec_in[:, : self._n_inv]
             for d in range(n_draws):
                 inv_rows[d * n : (d + 1) * n] = X_inv

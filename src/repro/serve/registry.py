@@ -17,12 +17,23 @@ Reload semantics:
 - **Hot reload is stat-triggered.**  Each cache hit re-stats the bundle;
   a changed ``(mtime_ns, size)`` evicts the stale entry and reloads (and
   re-validates) from disk, so publishing a new artifact version is just an
-  atomic file replace.
-- **Eviction (and reload) resets the RNG stream.**  A compiled plan's
-  noise stream starts from the RNG state saved in the artifact; evicting a
-  tenant and loading it again replays from that saved state.  Scoring is
-  therefore deterministic per cache generation, not across evictions —
-  the micro-batch equivalence tests pin down both behaviours.
+  atomic file replace (or a lineage pointer flip).
+- **The RNG stream survives eviction.**  A compiled plan's noise stream
+  starts from the RNG state saved in the artifact and its position (total
+  standard-normal values drawn) is tracked on the plan.  When an entry is
+  dropped — LRU eviction, explicit invalidation, or a deleted bundle —
+  the cache remembers ``(content_hash, position)``; reloading the *same*
+  bundle fast-forwards the fresh plan to that position, so evict-reload
+  mid-stream is bit-identical to never evicting.  A changed content hash
+  (a genuinely new artifact version, including a lineage rollback) resets
+  the stream to the new artifact's saved state — which is exactly what
+  makes rollback restore pre-promotion scoring bit for bit.
+
+The cache also carries per-tenant **shadow state**: a second compiled
+plan (the lineage's candidate version) scored concurrently with the
+incumbent by the micro-batcher, with divergence folded into a
+:class:`~repro.adapt.shadow.ShadowEvaluator` until it reaches a
+promote/abort verdict.
 """
 
 from __future__ import annotations
@@ -36,9 +47,10 @@ from pathlib import Path
 
 from repro.obs.metrics import get_metrics
 from repro.serve.batcher import DEFAULT_CAPACITY, PaddedExecutor
+from repro.serve.plan import fast_forward_rng
 from repro.utils.errors import ArtifactError
 
-__all__ = ["PlanCache", "TenantEntry"]
+__all__ = ["PlanCache", "ShadowState", "TenantEntry"]
 
 #: tenant names are path components; keep them boring and traversal-proof
 _TENANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
@@ -62,6 +74,19 @@ class TenantEntry:
     @property
     def content_hash(self) -> str | None:
         return self.manifest.get("content_hash")
+
+
+@dataclass
+class ShadowState:
+    """One tenant's live shadow evaluation: candidate entry + evaluator."""
+
+    tenant: str
+    content_hash: str
+    entry: TenantEntry
+    evaluator: object
+    on_verdict: object | None = None
+    verdict: str | None = None
+    errors: int = 0
 
 
 class PlanCache:
@@ -90,11 +115,16 @@ class PlanCache:
         self.n_draws = int(n_draws)
         self.micro_batch_rows = int(micro_batch_rows)
         self._entries: OrderedDict[str, TenantEntry] = OrderedDict()
+        #: remembered noise-stream positions of dropped entries:
+        #: tenant → (content_hash, values drawn); same-hash reloads resume
+        self._rng_positions: dict[str, tuple[str | None, int]] = {}
+        self._shadows: dict[str, ShadowState] = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.reloads = 0
+        self.rng_fast_forwards = 0
 
     # -- name / path handling ------------------------------------------------
 
@@ -127,6 +157,7 @@ class PlanCache:
                     stat = path.stat()
                 except OSError:
                     # bundle deleted out from under us: drop and report
+                    self._remember_rng(entry)
                     del self._entries[tenant]
                     self._publish_gauges(registry)
                     raise ArtifactError(f"no artifact file at {path}") from None
@@ -139,6 +170,7 @@ class PlanCache:
                         registry.counter("daemon.cache_hits_total").inc()
                     return entry
                 # stat changed: sha256-validated reload through load_artifact
+                self._remember_rng(entry)
                 del self._entries[tenant]
                 self.reloads += 1
                 if registry.enabled:
@@ -151,17 +183,44 @@ class PlanCache:
             self._entries[tenant] = entry
             self._entries.move_to_end(tenant)
             while len(self._entries) > self.capacity:
-                evicted, _ = self._entries.popitem(last=False)
+                _, evicted = self._entries.popitem(last=False)
+                self._remember_rng(evicted)
                 self.evictions += 1
                 if registry.enabled:
                     registry.counter("daemon.cache_evictions_total").inc()
             self._publish_gauges(registry)
             return entry
 
-    def _load(self, tenant: str, path: Path) -> TenantEntry:
+    def _remember_rng(self, entry: TenantEntry) -> None:
+        """Record a dropped entry's noise-stream position for resumption."""
+        self._rng_positions[entry.tenant] = (
+            entry.content_hash, int(getattr(entry.plan, "rng_draws", 0))
+        )
+
+    def _load(self, tenant: str, path: Path, *,
+              resume_rng: bool = True) -> TenantEntry:
         from repro.serve.runtime import load_plan
 
         plan, loaded = load_plan(path, n_draws=self.n_draws)
+        if resume_rng:
+            stored = self._rng_positions.get(tenant)
+            if stored is not None:
+                stored_hash, draws = stored
+                if (stored_hash is not None
+                        and stored_hash == loaded.manifest.get("content_hash")):
+                    if draws > 0:
+                        # same bundle back in the cache: resume its noise
+                        # stream where the dropped entry left off
+                        fast_forward_rng(plan, draws)
+                        self.rng_fast_forwards += 1
+                        registry = get_metrics()
+                        if registry.enabled:
+                            registry.counter(
+                                "daemon.rng_fast_forwards_total"
+                            ).inc()
+                else:
+                    # a different artifact version: its stream starts fresh
+                    del self._rng_positions[tenant]
         stat = path.stat()
         return TenantEntry(
             tenant=tenant,
@@ -179,13 +238,65 @@ class PlanCache:
             registry.gauge("daemon.tenants_loaded").set(len(self._entries))
 
     def invalidate(self, tenant: str | None = None) -> None:
-        """Drop one tenant (or all) from the cache; next access reloads."""
+        """Drop one tenant (or all) from the cache; next access reloads.
+
+        The dropped entries' noise-stream positions are remembered, so
+        reloading an unchanged bundle resumes its stream (see module docs).
+        """
         with self._lock:
             if tenant is None:
+                for entry in self._entries.values():
+                    self._remember_rng(entry)
                 self._entries.clear()
             else:
-                self._entries.pop(tenant, None)
+                entry = self._entries.pop(tenant, None)
+                if entry is not None:
+                    self._remember_rng(entry)
             self._publish_gauges(get_metrics())
+
+    # -- shadow mode ---------------------------------------------------------
+
+    def start_shadow(self, tenant: str, path, content_hash: str, *,
+                     evaluator, on_verdict=None) -> ShadowState:
+        """Load a candidate bundle for concurrent shadow scoring.
+
+        The micro-batcher scores every ``tenant`` batch through the shadow
+        entry's executor after the incumbent's and folds both outputs into
+        ``evaluator`` (a :class:`~repro.adapt.shadow.ShadowEvaluator`).
+        ``on_verdict(state)`` fires once, from the scorer thread, when the
+        evaluator reaches a verdict.
+        """
+        self.path_for(tenant)  # validates the tenant name
+        path = Path(path)
+        with self._lock:
+            if tenant in self._shadows:
+                raise ArtifactError(
+                    f"tenant {tenant!r} already has a shadow candidate"
+                )
+            entry = self._load(tenant, path, resume_rng=False)
+            if content_hash and entry.content_hash != content_hash:
+                raise ArtifactError(
+                    f"shadow candidate hash mismatch for {tenant!r}: "
+                    f"expected {content_hash}, loaded {entry.content_hash}"
+                )
+            state = ShadowState(
+                tenant=tenant,
+                content_hash=entry.content_hash,
+                entry=entry,
+                evaluator=evaluator,
+                on_verdict=on_verdict,
+            )
+            self._shadows[tenant] = state
+            return state
+
+    def shadow_for(self, tenant: str) -> ShadowState | None:
+        with self._lock:
+            return self._shadows.get(tenant)
+
+    def stop_shadow(self, tenant: str) -> ShadowState | None:
+        """Detach (and return) a tenant's shadow state, if any."""
+        with self._lock:
+            return self._shadows.pop(tenant, None)
 
     def loaded_tenants(self) -> list[str]:
         """Hot tenants in LRU order (least recently used first)."""
@@ -200,8 +311,23 @@ class PlanCache:
                     "content_hash": entry.content_hash,
                     "loaded_at": entry.loaded_at,
                     "schema_version": entry.manifest.get("schema_version"),
+                    "rng_draws": int(getattr(entry.plan, "rng_draws", 0)),
                 }
                 for name, entry in self._entries.items()
+            }
+            rng_positions = {
+                tenant: {"content_hash": stored[0], "rng_draws": stored[1]}
+                for tenant, stored in self._rng_positions.items()
+            }
+            shadows = {
+                tenant: {
+                    "content_hash": state.content_hash,
+                    "verdict": state.verdict,
+                    "errors": state.errors,
+                    **(state.evaluator.stats()
+                       if hasattr(state.evaluator, "stats") else {}),
+                }
+                for tenant, state in self._shadows.items()
             }
         return {
             "capacity": self.capacity,
@@ -211,5 +337,8 @@ class PlanCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "reloads": self.reloads,
+            "rng_fast_forwards": self.rng_fast_forwards,
+            "rng_positions": rng_positions,
             "loaded": loaded,
+            "shadows": shadows,
         }

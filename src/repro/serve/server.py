@@ -11,6 +11,14 @@ Wire format (JSON over HTTP/1.1, documented in DESIGN.md):
     or bad shape (including a request larger than the micro-batch
     capacity), ``503`` while shutting down, ``500`` anything else.
 
+``POST /v1/admin/rollback/<tenant>`` / ``POST /v1/admin/promote/<tenant>``
+    One-command lifecycle admin over the daemon's artifact lineage:
+    rollback flips the active pointer back to the previous version,
+    promote activates the latest candidate/shadow version.  Response
+    ``200`` with ``{"tenant", "action", "active", "generation", "file"}``.
+    Errors: ``409`` nothing to roll back / no candidate, ``400`` other
+    lineage errors (including ``manage_lineage=False``).
+
 ``GET /v1/tenants``
     ``{"root", "known": [...], "loaded": {...}}`` — every bundle under
     the artifact root plus per-entry cache stats for hot tenants.
@@ -101,8 +109,38 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_error_json(404, f"no route for GET {path}")
 
+    def _do_admin(self, action: str, tenant: str) -> None:
+        """Lifecycle admin: promote / rollback via the daemon's lineage."""
+        try:
+            if action == "rollback":
+                version = self.daemon.rollback(tenant)
+            else:
+                version = self.daemon.promote(tenant)
+        except (ArtifactError, ValidationError) as exc:
+            message = str(exc)
+            status = 409 if ("no previous" in message
+                             or "no candidate" in message) else 400
+            self._send_error_json(status, message)
+            return
+        except Exception as exc:  # noqa: BLE001 — handler must answer
+            logger.error("admin %s failed: %s", action, exc)
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            return
+        self._send_json(200, {
+            "tenant": tenant,
+            "action": action,
+            "active": version.content_hash,
+            "generation": version.generation,
+            "file": version.file,
+        })
+
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         path = self.path.split("?", 1)[0]
+        for action in ("rollback", "promote"):
+            prefix = f"/v1/admin/{action}/"
+            if path.startswith(prefix):
+                self._do_admin(action, path[len(prefix):])
+                return
         if not path.startswith("/v1/score/"):
             self._send_error_json(404, f"no route for POST {path}")
             return

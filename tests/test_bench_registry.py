@@ -138,3 +138,25 @@ class TestOtherOracles:
         assert any("CI test counts" in p for p in suite.check_record(record))
         record["after_mode"] = "per_feature+shm+prune_k=2+float32"
         assert suite.check_record(record) == []
+
+    def test_adapt_oracle_on_committed_records(self):
+        suite = get_suite("adapt")
+        with open(REPO / "BENCH_adapt.json", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert doc["schema"] == suite.schema
+        for key, record in doc["records"].items():
+            assert suite.check_record(record) == [], key
+
+    def test_adapt_oracle_flags_inconsistencies(self):
+        suite = get_suite("adapt")
+        with open(REPO / "BENCH_adapt.json", encoding="utf-8") as fh:
+            sound = next(iter(json.load(fh)["records"].values()))
+        # a pre-onset alarm is a false positive, not a detection
+        record = dict(sound, alarm_batch=sound["onset_batch"] - 1)
+        assert any("precedes onset" in p for p in suite.check_record(record))
+        record = dict(sound, before=dict(sound["before"], mode="confirm"))
+        assert any("cold" in p for p in suite.check_record(record))
+        record = dict(sound, detection_latency_batches=-2)
+        assert any(
+            "detection_latency" in p for p in suite.check_record(record)
+        )

@@ -114,36 +114,80 @@ class TestPaddedExecutorValidation:
 
 
 class TestEvictReloadMidStream:
-    def test_eviction_resets_rng_stream(self, tenant_root, tmp_path):
-        """Evict-then-reload mid-stream replays from the saved RNG state."""
+    def test_eviction_continues_rng_stream(self, tenant_root, tmp_path):
+        """Evict-then-reload mid-stream fast-forwards to the same position.
+
+        A dropped entry's noise-stream position is remembered per tenant;
+        reloading the unchanged bundle resumes the stream exactly where it
+        left off, so evict-reload is bit-identical to never evicting.
+        """
         root, names, X_test = tenant_root
         for name in names[:2]:
             shutil.copy(root / f"{name}.npz", tmp_path / f"{name}.npz")
-        cache = PlanCache(tmp_path, capacity=1, micro_batch_rows=CAP)
         X = X_test[:6]
 
-        ex = cache.get(names[0]).executor
-        first = ex.score([ex.check_request(X)])[0]
-        advanced = ex.score([ex.check_request(X)])[0]  # RNG moved on
-        assert np.any(first != advanced)
+        # reference: one uninterrupted cache scoring three passes
+        ref_cache = PlanCache(tmp_path, capacity=8, micro_batch_rows=CAP)
+        ex = ref_cache.get(names[0]).executor
+        reference = [ex.score([ex.check_request(X)])[0] for _ in range(3)]
+        assert np.any(reference[0] != reference[1])  # RNG moves on
 
+        # capacity-1 cache: tenant 0 is evicted between pass 2 and pass 3
+        cache = PlanCache(tmp_path, capacity=1, micro_batch_rows=CAP)
+        ex = cache.get(names[0]).executor
+        got = [ex.score([ex.check_request(X)])[0] for _ in range(2)]
         cache.get(names[1])  # capacity-1 cache: evicts tenant 0
         assert cache.loaded_tenants() == [names[1]]
-        ex = cache.get(names[0]).executor  # reload: saved RNG state again
+        ex = cache.get(names[0]).executor  # reload fast-forwards the stream
         assert cache.misses == 3
-        replay = ex.score([ex.check_request(X)])[0]
-        np.testing.assert_array_equal(replay, first)
+        assert cache.rng_fast_forwards == 1
+        got.append(ex.score([ex.check_request(X)])[0])
+        for a, b in zip(got, reference):
+            np.testing.assert_array_equal(a, b)
 
     def test_batcher_continues_across_reload(self, tenant_root, tmp_path):
+        """The reloaded stream continues — no replay of earlier draws."""
         root, names, X_test = tenant_root
         for name in names[:2]:
             shutil.copy(root / f"{name}.npz", tmp_path / f"{name}.npz")
+
+        ref_cache = PlanCache(tmp_path, capacity=8, micro_batch_rows=CAP)
+        with MicroBatcher(ref_cache, max_wait=0.0) as batcher:
+            ref_a = batcher.score(names[0], X_test[:4])
+            ref_b = batcher.score(names[0], X_test[:4])
+
         cache = PlanCache(tmp_path, capacity=1, micro_batch_rows=CAP)
         with MicroBatcher(cache, max_wait=0.0) as batcher:
             a = batcher.score(names[0], X_test[:4])
             batcher.score(names[1], X_test[:2])   # evicts tenant 0
-            b = batcher.score(names[0], X_test[:4])  # reload + replay
-        np.testing.assert_array_equal(a, b)
+            b = batcher.score(names[0], X_test[:4])  # reload + fast-forward
+        np.testing.assert_array_equal(a, ref_a)
+        np.testing.assert_array_equal(b, ref_b)
+
+    def test_new_artifact_version_resets_stream(self, tenant_root, tmp_path):
+        """A changed content hash starts the new artifact's stream fresh."""
+        root, names, X_test = tenant_root
+        shutil.copy(root / f"{names[0]}.npz", tmp_path / f"{names[0]}.npz")
+        X = X_test[:6]
+
+        cache = PlanCache(tmp_path, capacity=8, micro_batch_rows=CAP)
+        ex = cache.get(names[0]).executor
+        first = ex.score([ex.check_request(X)])[0]
+        ex.score([ex.check_request(X)])  # advance the stream
+        cache.invalidate(names[0])  # position remembered
+
+        # swap in a different bundle under the same tenant name
+        shutil.copy(root / f"{names[1]}.npz", tmp_path / f"{names[0]}.npz")
+        ex = cache.get(names[0]).executor
+        swapped = ex.score([ex.check_request(X)])[0]
+        assert cache.rng_fast_forwards == 0  # hash changed: no resume
+
+        # and rolling back to the original bundle replays from its start
+        shutil.copy(root / f"{names[0]}.npz", tmp_path / f"{names[0]}.npz")
+        ex = cache.get(names[0]).executor
+        rolled_back = ex.score([ex.check_request(X)])[0]
+        assert np.any(first != swapped)
+        np.testing.assert_array_equal(rolled_back, first)
 
 
 class TestMicroBatcher:
